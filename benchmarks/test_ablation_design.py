@@ -1,0 +1,144 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify *why* the design decisions in
+§4 and §5 matter, using the library's own building blocks:
+
+1. HWMT midpoint-first order vs. a linear left-to-right scan of the window
+   (the "coincidental togetherness" argument of §4.3);
+2. candidate-cluster intersection (Lemma 5) vs. using the left benchmark
+   clusters directly;
+3. buffer-pool size for the relational store (§5.1's I/O sensitivity).
+"""
+
+from paperbench import (
+    ConvoyQuery,
+    fmt,
+    print_table,
+    tdrive_dataset,
+    trucks_dataset,
+)
+from repro.core import MiningStats
+from repro.core.bench_points import benchmark_points, hop_windows
+from repro.core.candidates import cluster_benchmark_point, intersect_cluster_sets
+from repro.core.hwmt import mine_hop_window, recluster
+from repro.core.k2hop import K2Hop
+from repro.storage import RelationalStore
+
+
+def _linear_mine_hop_window(source, window, candidates, query, stats):
+    """Strawman: process interior timestamps left to right (no tree)."""
+    surviving = list(candidates)
+    if not surviving:
+        return []
+    for t in range(window.left + 1, window.right):
+        next_surviving, seen = [], set()
+        for candidate in surviving:
+            for cluster in recluster(source, t, candidate, query, stats):
+                if cluster not in seen:
+                    seen.add(cluster)
+                    next_surviving.append(cluster)
+        if not next_surviving:
+            return []
+        surviving = next_surviving
+    return surviving
+
+
+def test_ablation_hwmt_order_vs_linear(benchmark):
+    """The midpoint order must read no more (usually far fewer) points."""
+    dataset = tdrive_dataset()
+    query = ConvoyQuery(m=3, k=20, eps=250.0)
+    points = benchmark_points(dataset.start_time, dataset.end_time, query.hop)
+    clusters = [cluster_benchmark_point(dataset, t, query) for t in points]
+    windows = hop_windows(points)
+    tree_stats, linear_stats = MiningStats(), MiningStats()
+    for i, window in enumerate(windows):
+        candidates = intersect_cluster_sets(clusters[i], clusters[i + 1], query.m)
+        mine_hop_window(dataset, window, candidates, query, tree_stats)
+        _linear_mine_hop_window(dataset, window, candidates, query, linear_stats)
+    tree_points = tree_stats.points_processed_by_phase.get("hwmt", 0)
+    linear_points = linear_stats.points_processed_by_phase.get("hwmt", 0)
+    print_table(
+        "Ablation: HWMT order (points read inside hop windows)",
+        ("strategy", "points"),
+        [("midpoint-first (HWMT)", tree_points), ("linear scan", linear_points)],
+    )
+    assert tree_points <= linear_points
+
+    benchmark.pedantic(
+        lambda: [
+            mine_hop_window(
+                dataset, w,
+                intersect_cluster_sets(clusters[i], clusters[i + 1], query.m),
+                query,
+            )
+            for i, w in enumerate(windows)
+        ],
+        rounds=1, iterations=1,
+    )
+
+
+def test_ablation_candidate_intersection(benchmark):
+    """Lemma 5's intersection must shrink the candidate workload."""
+    dataset = tdrive_dataset()
+    query = ConvoyQuery(m=3, k=20, eps=250.0)
+    points = benchmark_points(dataset.start_time, dataset.end_time, query.hop)
+    clusters = [cluster_benchmark_point(dataset, t, query) for t in points]
+    windows = hop_windows(points)
+    with_inter, without_inter = MiningStats(), MiningStats()
+    for i, window in enumerate(windows):
+        intersected = intersect_cluster_sets(clusters[i], clusters[i + 1], query.m)
+        mine_hop_window(dataset, window, intersected, query, with_inter)
+        mine_hop_window(dataset, window, clusters[i], query, without_inter)
+    a = with_inter.points_processed_by_phase.get("hwmt", 0)
+    b = without_inter.points_processed_by_phase.get("hwmt", 0)
+    print_table(
+        "Ablation: candidate intersection (points read inside hop windows)",
+        ("strategy", "points"),
+        [("intersected candidates (Lemma 5)", a), ("left benchmark clusters", b)],
+    )
+    assert a <= b
+    benchmark.pedantic(
+        lambda: [
+            mine_hop_window(
+                dataset, w,
+                intersect_cluster_sets(clusters[i], clusters[i + 1], query.m),
+                query,
+            )
+            for i, w in enumerate(windows)
+        ],
+        rounds=1, iterations=1,
+    )
+
+
+def test_ablation_buffer_pool_size(tmp_path, benchmark):
+    """A starved buffer pool must cost physical reads; a big one, none."""
+    dataset = trucks_dataset()
+    query = ConvoyQuery(m=3, k=20, eps=40.0)
+    rows = []
+    reads = {}
+    for pool_pages in (8, 64, 512):
+        store = RelationalStore.create(
+            str(tmp_path / f"pool{pool_pages}.db"), dataset, pool_pages=pool_pages
+        )
+        store.stats.reset()
+        import time
+
+        started = time.perf_counter()
+        K2Hop(query).mine(store)
+        elapsed = time.perf_counter() - started
+        reads[pool_pages] = store.stats.pages_read
+        rows.append(
+            (pool_pages, store.stats.pages_read, store.stats.buffer_hits,
+             fmt(elapsed))
+        )
+        store.close()
+    print_table(
+        "Ablation: buffer pool size (k2-RDBMS, Trucks)",
+        ("pool pages", "physical reads", "buffer hits", "time"),
+        rows,
+    )
+    assert reads[8] >= reads[512]
+
+    store = RelationalStore.create(str(tmp_path / "bench.db"), dataset)
+    benchmark.pedantic(lambda: K2Hop(query).mine(store), rounds=1, iterations=1)
+    store.close()

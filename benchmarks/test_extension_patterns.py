@@ -1,0 +1,62 @@
+"""§7 extension bench: k/2-hop pruning applied to flocks & moving clusters.
+
+Not a figure in the paper — it is the paper's closing claim ("the k/2-hop
+technique can be applied to numerous movement pattern mining algorithms
+such as moving clusters and flock patterns to make them fast"), quantified.
+"""
+
+from paperbench import ConvoyQuery, fmt, print_table, small_dataset
+import time
+
+from repro.extensions import (
+    mine_flocks,
+    mine_flocks_k2,
+    mine_moving_clusters,
+    mine_moving_clusters_k2,
+)
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_extension_flock_acceleration(benchmark):
+    dataset = small_dataset("trucks")
+    query = ConvoyQuery(m=3, k=16, eps=40.0)
+    base, base_s = _timed(lambda: mine_flocks(dataset, query))
+    fast, fast_s = _timed(lambda: mine_flocks_k2(dataset, query))
+    assert set(base) == set(fast)  # the acceleration is exact
+    print_table(
+        "§7 extension: flock mining with k/2-hop pruning (trucks)",
+        ("miner", "time", "flocks"),
+        [
+            ("per-snapshot disks", fmt(base_s), len(base)),
+            ("k/2-hop pruned", fmt(fast_s), len(fast)),
+        ],
+    )
+    benchmark.pedantic(lambda: mine_flocks_k2(dataset, query), rounds=1, iterations=1)
+
+
+def test_extension_moving_cluster_acceleration(benchmark):
+    dataset = small_dataset("tdrive")
+    query = ConvoyQuery(m=3, k=16, eps=250.0)
+    base, base_s = _timed(lambda: mine_moving_clusters(dataset, query, theta=0.9))
+    fast, fast_s = _timed(
+        lambda: mine_moving_clusters_k2(dataset, query, theta=0.9)
+    )
+    # High theta (low drift): the heuristic filter loses nothing here.
+    assert fast == base
+    print_table(
+        "§7 extension: moving-cluster mining with k/2 regions (tdrive)",
+        ("miner", "time", "chains"),
+        [
+            ("MC2 full sweep", fmt(base_s), len(base)),
+            ("k/2 active regions", fmt(fast_s), len(fast)),
+        ],
+    )
+    benchmark.pedantic(
+        lambda: mine_moving_clusters_k2(dataset, query, theta=0.9),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,66 @@
+"""Figure 7a: performance gain of k2-RDBMS / k2-LSMT over VCoDA* (Trucks).
+
+The paper sweeps k and reports, per k, the min/median/mean/max gain over a
+grid of (m, eps) combinations.  Reproduced at laptop scale with k scaled to
+our dataset duration (paper: k in 200..1200 on 30 s samples).
+"""
+
+import statistics
+
+from paperbench import (
+    ConvoyQuery,
+    fmt,
+    gain,
+    print_table,
+    run_k2,
+    run_vcoda_star,
+    trucks_dataset,
+)
+
+K_VALUES = (10, 20, 40, 60)
+PARAM_GRID = [(3, 20.0), (3, 40.0), (6, 20.0), (6, 40.0)]
+
+
+def _gains(dataset, store):
+    rows = []
+    for k in K_VALUES:
+        gains = []
+        for m, eps in PARAM_GRID:
+            query = ConvoyQuery(m=m, k=k, eps=eps)
+            base = run_vcoda_star(dataset, query)
+            ours = run_k2(dataset, query, store=store)
+            assert ours.convoys == base.convoys  # exactness while benching
+            gains.append(gain(base.seconds, ours.seconds))
+        rows.append(
+            (
+                k,
+                f"{min(gains):.2f}",
+                f"{statistics.median(gains):.2f}",
+                f"{statistics.mean(gains):.2f}",
+                f"{max(gains):.2f}",
+            )
+        )
+    return rows
+
+
+def test_fig7a_gain_over_vcoda_star_trucks(benchmark):
+    dataset = trucks_dataset()
+    rdbms_rows = _gains(dataset, "rdbms")
+    lsmt_rows = _gains(dataset, "lsmt")
+    print_table(
+        "Fig 7a: k2-RDBMS gain over VCoDA* (Trucks)",
+        ("k", "min", "median", "mean", "max"),
+        rdbms_rows,
+    )
+    print_table(
+        "Fig 7a: k2-LSMT gain over VCoDA* (Trucks)",
+        ("k", "min", "median", "mean", "max"),
+        lsmt_rows,
+    )
+    # Paper shape: gain > 1 for large k (k2 wins once pruning kicks in).
+    assert float(rdbms_rows[-1][3]) > 1.0
+
+    query = ConvoyQuery(m=3, k=40, eps=40.0)
+    benchmark.pedantic(
+        lambda: run_k2(dataset, query, store="rdbms"), rounds=1, iterations=1
+    )

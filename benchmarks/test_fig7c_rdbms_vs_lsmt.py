@@ -1,0 +1,37 @@
+"""Figure 7c: k2-RDBMS vs k2-LSMT on the Brinkhoff dataset (largest).
+
+Paper result: VCoDA* cannot finish the Brinkhoff dataset at all; the two
+k/2-hop storage variants both complete, with k2-LSMT ahead on the largest
+data.  We reproduce the completion and the head-to-head curve across k.
+"""
+
+from paperbench import (
+    ConvoyQuery,
+    brinkhoff_dataset,
+    fmt,
+    print_table,
+    run_k2,
+)
+
+K_VALUES = (10, 20, 40, 60)
+
+
+def test_fig7c_rdbms_vs_lsmt_brinkhoff(benchmark):
+    dataset = brinkhoff_dataset()
+    rows = []
+    for k in K_VALUES:
+        query = ConvoyQuery(m=3, k=k, eps=30.0)
+        rdbms = run_k2(dataset, query, store="rdbms")
+        lsmt = run_k2(dataset, query, store="lsmt")
+        assert rdbms.convoys == lsmt.convoys
+        rows.append((k, fmt(rdbms.seconds), fmt(lsmt.seconds), rdbms.convoys))
+    print_table(
+        "Fig 7c: k2-RDBMS vs k2-LSMT (Brinkhoff)",
+        ("k", "k2-RDBMS", "k2-LSMT", "convoys"),
+        rows,
+    )
+
+    query = ConvoyQuery(m=3, k=40, eps=30.0)
+    benchmark.pedantic(
+        lambda: run_k2(dataset, query, store="lsmt"), rounds=1, iterations=1
+    )

@@ -1,0 +1,92 @@
+"""Figures 7d/7e/7f: k/2-hop gain over SPARE at varying parallelism.
+
+The paper runs SPARE on (d) a single machine with 1-8 cores, (e) a YARN
+cluster with 2-16 cores, and (f) a 32-core NUMA box, and reports the gain
+of single-threaded k/2-hop over each.  Our cluster is simulated: SPARE's
+mining work executes for real, and each platform preset converts the
+measured task structure into the wall-clock that core count would give
+(see repro.distributed.simulator).
+
+Paper shape to preserve: the gain is large (SPARE pays the full clustering
+stage k/2-hop avoids) and decreases with core count but stays > 1 at
+moderate parallelism.
+"""
+
+import pytest
+
+from paperbench import ConvoyQuery, gain, print_table, run_k2, small_dataset
+from repro.distributed import ClusterSpec, mine_spare
+
+QUERIES = {
+    "trucks": ConvoyQuery(m=3, k=16, eps=40.0),
+    "tdrive": ConvoyQuery(m=3, k=16, eps=250.0),
+    "brinkhoff": ConvoyQuery(m=3, k=16, eps=30.0),
+}
+
+
+def _gain_rows(spec_factory, core_counts):
+    rows = []
+    for name, query in QUERIES.items():
+        dataset = small_dataset(name)
+        spare = mine_spare(dataset, query)
+        k2 = run_k2(dataset, query, store="rdbms")
+        row = [name]
+        for cores in core_counts:
+            simulated = spare.simulated_seconds(spec_factory(cores))
+            row.append(f"{gain(simulated, k2.seconds):.1f}")
+        rows.append(row)
+    return rows
+
+
+def test_fig7d_spare_single_machine(benchmark):
+    cores = (1, 2, 4, 8)
+    rows = _gain_rows(ClusterSpec.local, cores)
+    print_table(
+        "Fig 7d: k/2 gain over SPARE, single machine (cores 1-8)",
+        ("dataset",) + tuple(str(c) for c in cores),
+        rows,
+    )
+    # Gain must decrease with cores and stay > 1 on a single core.
+    for row in rows:
+        gains = [float(g) for g in row[1:]]
+        assert gains[0] >= gains[-1]
+        assert gains[0] > 1.0
+
+    dataset = small_dataset("tdrive")
+    benchmark.pedantic(
+        lambda: mine_spare(dataset, QUERIES["tdrive"]), rounds=1, iterations=1
+    )
+
+
+def test_fig7e_spare_yarn(benchmark):
+    cores = (2, 4, 8, 16)
+    rows = _gain_rows(ClusterSpec.yarn, cores)
+    print_table(
+        "Fig 7e: k/2 gain over SPARE on YARN (cores 2-16)",
+        ("dataset",) + tuple(str(c) for c in cores),
+        rows,
+    )
+    for row in rows:
+        gains = [float(g) for g in row[1:]]
+        assert gains[0] >= gains[-1]
+    benchmark.pedantic(
+        lambda: run_k2(small_dataset("trucks"), QUERIES["trucks"], "rdbms"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig7f_spare_numa(benchmark):
+    cores = (8, 16, 24, 32)
+    rows = _gain_rows(ClusterSpec.standalone, cores)
+    print_table(
+        "Fig 7f: k/2 gain over SPARE on NUMA (cores 8-32)",
+        ("dataset",) + tuple(str(c) for c in cores),
+        rows,
+    )
+    for row in rows:
+        gains = [float(g) for g in row[1:]]
+        assert gains[0] >= gains[-1]
+    benchmark.pedantic(
+        lambda: run_k2(small_dataset("brinkhoff"), QUERIES["brinkhoff"], "rdbms"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Figures 8c / 8d / 8e: effect of m on runtime, per dataset.
+
+Paper shape: k2-* get faster as m grows (fewer/bigger clusters must form,
+so fewer candidates survive the benchmark intersection); VCoDA variants are
+mostly insensitive to m.
+"""
+
+from paperbench import (
+    ConvoyQuery,
+    brinkhoff_dataset,
+    fmt,
+    print_table,
+    run_k2,
+    run_vcoda_star,
+    tdrive_dataset,
+    trucks_dataset,
+)
+
+M_VALUES = (3, 6, 9)
+
+
+def _sweep(dataset, eps, include_vcoda=True):
+    rows = []
+    k2_seconds = []
+    for m in M_VALUES:
+        query = ConvoyQuery(m=m, k=20, eps=eps)
+        cells = [m]
+        if include_vcoda:
+            star = run_vcoda_star(dataset, query)
+            cells.append(fmt(star.seconds))
+        run_file = run_k2(dataset, query, store="file")
+        run_rdbms = run_k2(dataset, query, store="rdbms")
+        run_lsmt = run_k2(dataset, query, store="lsmt")
+        k2_seconds.append(run_rdbms.seconds)
+        cells += [fmt(run_file.seconds), fmt(run_rdbms.seconds), fmt(run_lsmt.seconds)]
+        rows.append(cells)
+    return rows, k2_seconds
+
+
+def test_fig8c_effect_of_m_trucks(benchmark):
+    rows, k2_seconds = _sweep(trucks_dataset(), eps=40.0)
+    print_table(
+        "Fig 8c: effect of m (Trucks)",
+        ("m", "VCoDA*", "k2-File", "k2-RDBMS", "k2-LSMT"),
+        rows,
+    )
+    assert k2_seconds[-1] <= k2_seconds[0] * 1.25  # m=9 not slower than m=3
+    benchmark.pedantic(
+        lambda: run_k2(trucks_dataset(), ConvoyQuery(m=6, k=20, eps=40.0)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8d_effect_of_m_tdrive(benchmark):
+    rows, k2_seconds = _sweep(tdrive_dataset(), eps=250.0)
+    print_table(
+        "Fig 8d: effect of m (T-Drive)",
+        ("m", "VCoDA*", "k2-File", "k2-RDBMS", "k2-LSMT"),
+        rows,
+    )
+    assert k2_seconds[-1] <= k2_seconds[0] * 1.25
+    benchmark.pedantic(
+        lambda: run_k2(tdrive_dataset(), ConvoyQuery(m=6, k=20, eps=250.0)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8e_effect_of_m_brinkhoff(benchmark):
+    # Paper: VCoDA and k2-File crashed on Brinkhoff for this figure.
+    rows, k2_seconds = _sweep(brinkhoff_dataset(), eps=30.0, include_vcoda=False)
+    print_table(
+        "Fig 8e: effect of m (Brinkhoff; VCoDA omitted as in the paper)",
+        ("m", "k2-File", "k2-RDBMS", "k2-LSMT"),
+        rows,
+    )
+    assert k2_seconds[-1] <= k2_seconds[0]
+    benchmark.pedantic(
+        lambda: run_k2(brinkhoff_dataset(), ConvoyQuery(m=9, k=20, eps=30.0)),
+        rounds=1, iterations=1,
+    )

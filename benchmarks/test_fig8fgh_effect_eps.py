@@ -1,0 +1,77 @@
+"""Figures 8f / 8g / 8h: effect of eps on runtime, per dataset.
+
+Paper shape: larger eps -> more and larger clusters that never become
+convoys -> less pruning -> k2-* get slower; performance decreases with eps.
+"""
+
+from paperbench import (
+    ConvoyQuery,
+    brinkhoff_dataset,
+    eps_sweep,
+    fmt,
+    print_table,
+    run_k2,
+    run_vcoda_star,
+    tdrive_dataset,
+    trucks_dataset,
+)
+
+
+def _sweep(dataset, name, include_vcoda=True):
+    rows = []
+    k2_seconds = []
+    for eps in eps_sweep(name):
+        query = ConvoyQuery(m=3, k=20, eps=eps)
+        cells = [f"{eps:g}"]
+        if include_vcoda:
+            star = run_vcoda_star(dataset, query)
+            cells.append(fmt(star.seconds))
+        run_file = run_k2(dataset, query, store="file")
+        run_rdbms = run_k2(dataset, query, store="rdbms")
+        run_lsmt = run_k2(dataset, query, store="lsmt")
+        k2_seconds.append(run_rdbms.seconds)
+        cells += [fmt(run_file.seconds), fmt(run_rdbms.seconds), fmt(run_lsmt.seconds)]
+        rows.append(cells)
+    return rows, k2_seconds
+
+
+def test_fig8f_effect_of_eps_trucks(benchmark):
+    rows, k2_seconds = _sweep(trucks_dataset(), "trucks")
+    print_table(
+        "Fig 8f: effect of eps (Trucks)",
+        ("eps", "VCoDA*", "k2-File", "k2-RDBMS", "k2-LSMT"),
+        rows,
+    )
+    assert k2_seconds[0] <= k2_seconds[-1] * 1.5  # small eps no slower
+    benchmark.pedantic(
+        lambda: run_k2(trucks_dataset(), ConvoyQuery(m=3, k=20, eps=40.0)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8g_effect_of_eps_tdrive(benchmark):
+    rows, k2_seconds = _sweep(tdrive_dataset(), "tdrive")
+    print_table(
+        "Fig 8g: effect of eps (T-Drive)",
+        ("eps", "VCoDA*", "k2-File", "k2-RDBMS", "k2-LSMT"),
+        rows,
+    )
+    assert k2_seconds[0] <= k2_seconds[-1]
+    benchmark.pedantic(
+        lambda: run_k2(tdrive_dataset(), ConvoyQuery(m=3, k=20, eps=250.0)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8h_effect_of_eps_brinkhoff(benchmark):
+    rows, k2_seconds = _sweep(brinkhoff_dataset(), "brinkhoff", include_vcoda=False)
+    print_table(
+        "Fig 8h: effect of eps (Brinkhoff; k2-* only as in the paper)",
+        ("eps", "k2-File", "k2-RDBMS", "k2-LSMT"),
+        rows,
+    )
+    assert k2_seconds[0] <= k2_seconds[-1]
+    benchmark.pedantic(
+        lambda: run_k2(brinkhoff_dataset(), ConvoyQuery(m=3, k=20, eps=3.0)),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Figure 8i: execution time of the k2-LSMT pipeline phases across k.
+
+Paper result: HWMT dominates (it touches most timestamps and issues point
+queries), the extension phases come second, and merge/validation are
+negligible.
+"""
+
+from paperbench import ConvoyQuery, print_table, run_k2, tdrive_dataset
+
+K_VALUES = (10, 20, 40, 60)
+PHASES = (
+    "benchmark_clustering",
+    "hwmt",
+    "merge",
+    "extend_right",
+    "extend_left",
+    "validation",
+)
+
+
+def test_fig8i_phase_times(benchmark):
+    dataset = tdrive_dataset()
+    rows = []
+    samples = {}
+    for k in K_VALUES:
+        query = ConvoyQuery(m=3, k=k, eps=250.0)
+        run = run_k2(dataset, query, store="lsmt")
+        times = run.stats.phase_times
+        samples[k] = times
+        rows.append(
+            [k] + [f"{times.get(p, 0.0) * 1e3:.1f}" for p in PHASES]
+        )
+    print_table(
+        "Fig 8i: k2-LSMT phase times in ms, per k (T-Drive)",
+        ("k",) + PHASES,
+        rows,
+    )
+    # Shape: merge and validation are negligible next to the heavy phases.
+    for k, times in samples.items():
+        heavy = (
+            times.get("benchmark_clustering", 0.0)
+            + times.get("hwmt", 0.0)
+            + times.get("extend_right", 0.0)
+            + times.get("extend_left", 0.0)
+        )
+        assert times.get("merge", 0.0) <= heavy
+        assert times.get("validation", 0.0) <= max(heavy, 1e-9) * 2
+
+    benchmark.pedantic(
+        lambda: run_k2(dataset, ConvoyQuery(m=3, k=20, eps=250.0), store="lsmt"),
+        rounds=1, iterations=1,
+    )

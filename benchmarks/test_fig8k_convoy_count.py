@@ -1,0 +1,54 @@
+"""Figure 8k: effect of the number of convoys in the data on runtime.
+
+Paper result: execution time generally grows with the number of convoys
+(less data can be pruned) — but not strictly: datasets where objects are
+often *nearly* together long enough have a low object conversion ratio and
+cost more per convoy.  We sweep planted convoy counts with everything else
+fixed.
+"""
+
+from paperbench import ConvoyQuery, fmt, print_table, run_k2
+from repro.data import plant_convoys
+
+CONVOY_COUNTS = (0, 2, 6, 12, 24)
+
+
+def test_fig8k_effect_of_convoy_count(benchmark):
+    rows = []
+    seconds = []
+    for count in CONVOY_COUNTS:
+        workload = plant_convoys(
+            n_convoys=count, convoy_size=4, convoy_duration=30, n_noise=60,
+            duration=120, extent=3000.0, seed=7,
+        )
+        query = ConvoyQuery(m=3, k=20, eps=workload.eps)
+        rdbms = run_k2(workload.dataset, query, store="rdbms")
+        lsmt = run_k2(workload.dataset, query, store="lsmt")
+        assert rdbms.convoys >= count  # every planted convoy is found
+        seconds.append(rdbms.seconds)
+        rows.append(
+            (
+                count,
+                fmt(rdbms.seconds),
+                fmt(lsmt.seconds),
+                f"{rdbms.stats.pruning_ratio * 100:.1f}%",
+            )
+        )
+    print_table(
+        "Fig 8k: effect of convoy count (planted workload)",
+        ("convoys", "k2-RDBMS", "k2-LSMT", "pruning"),
+        rows,
+    )
+    # Shape: many convoys cost more than none.
+    assert seconds[-1] > seconds[0]
+
+    workload = plant_convoys(
+        n_convoys=6, convoy_size=4, convoy_duration=30, n_noise=60,
+        duration=120, extent=3000.0, seed=7,
+    )
+    benchmark.pedantic(
+        lambda: run_k2(
+            workload.dataset, ConvoyQuery(m=3, k=20, eps=workload.eps), "rdbms"
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Figure 8l: data-size scalability.
+
+Paper result: VCoDA*'s runtime climbs sharply with data size (and it
+crashes on the 122M-point Brinkhoff dataset); the k2 variants grow
+sub-linearly and keep a widening lead.  We scale the taxi workload through
+four sizes at constant fleet density (duration scaling — the same way the
+paper's 29M vs 122M comparison grows the time axis, not the traffic
+density) and compare growth rates.
+"""
+
+from paperbench import ConvoyQuery, fmt, gain, print_table, run_k2, run_vcoda_star
+from repro.data import TDriveConfig, generate_tdrive
+
+SIZES = ((90, 60), (90, 100), (90, 150), (90, 220))  # (taxis, duration)
+
+
+def test_fig8l_data_size_scalability(benchmark):
+    rows = []
+    points = []
+    k2_times = []
+    vcoda_times = []
+    for taxis, duration in SIZES:
+        dataset = generate_tdrive(TDriveConfig(n_taxis=taxis, duration=duration, seed=33))
+        query = ConvoyQuery(m=3, k=40, eps=150.0)
+        k2 = run_k2(dataset, query, store="lsmt")
+        star = run_vcoda_star(dataset, query)
+        points.append(dataset.num_points)
+        k2_times.append(k2.seconds)
+        vcoda_times.append(star.seconds)
+        rows.append(
+            (
+                dataset.num_points,
+                fmt(star.seconds),
+                fmt(k2.seconds),
+                f"{gain(star.seconds, k2.seconds):.1f}x",
+            )
+        )
+    print_table(
+        "Fig 8l: data size scalability (taxi workload)",
+        ("points", "VCoDA*", "k2-LSMT", "gain"),
+        rows,
+    )
+    # Shape: k2 grows no faster than the baseline from smallest to largest,
+    # and the gain widens with data size.
+    k2_growth = k2_times[-1] / k2_times[0]
+    vcoda_growth = vcoda_times[-1] / vcoda_times[0]
+    assert k2_growth <= vcoda_growth * 1.25
+    assert gain(vcoda_times[-1], k2_times[-1]) > gain(vcoda_times[0], k2_times[0])
+
+    dataset = generate_tdrive(TDriveConfig(n_taxis=90, duration=100, seed=33))
+    benchmark.pedantic(
+        lambda: run_k2(dataset, ConvoyQuery(m=3, k=40, eps=150.0), "lsmt"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,32 @@
+"""Table 4: properties of the generated Brinkhoff dataset.
+
+The paper reports the generator's configuration and the resulting dataset
+size (2,505,000 moving objects / 122,014,762 points at their scale).  We
+print the same properties for our laptop-scale generation and check the
+structural invariants.
+"""
+
+from paperbench import brinkhoff_dataset, print_table
+from repro.data import generate_road_network
+
+
+def test_table4_brinkhoff_dataset_properties(benchmark):
+    dataset = benchmark.pedantic(brinkhoff_dataset, rounds=1, iterations=1)
+    network = generate_road_network(seed=13)
+    info = dataset.info()
+    print_table(
+        "Table 4: Brinkhoff dataset properties (laptop scale)",
+        ("property", "value"),
+        [
+            ("max time", info.end_time + 1),
+            ("moving objects", info.num_objects),
+            ("points", info.num_points),
+            ("data space width", f"{info.width:.0f}"),
+            ("data space height", f"{info.height:.0f}"),
+            ("number of nodes", network.num_nodes),
+            ("number of edges", network.num_edges),
+        ],
+    )
+    assert info.num_points > 50_000  # largest of the three workloads
+    assert info.num_objects > 500
+    assert network.num_edges >= network.num_nodes - 1  # connected

@@ -1,0 +1,60 @@
+"""Table 5: k/2-hop data-pruning performance.
+
+The paper's headline table: across (m, k, eps) combinations, k/2-hop
+processes only a tiny fraction of each dataset — pruning 84-99.8%.  We
+sweep a comparable grid and report min/max points processed and pruning
+percentages per dataset.
+"""
+
+from paperbench import (
+    ConvoyQuery,
+    DATASETS,
+    eps_sweep,
+    print_table,
+    run_k2,
+)
+
+K_GRID = (20, 40, 60)
+M_GRID = (3, 6)
+
+
+def test_table5_pruning_performance(benchmark):
+    rows = []
+    minima = {}
+    for name, loader in DATASETS.items():
+        dataset = loader()
+        processed = []
+        for k in K_GRID:
+            for m in M_GRID:
+                for eps in eps_sweep(name)[:2]:  # small and default eps
+                    query = ConvoyQuery(m=m, k=k, eps=eps)
+                    run = run_k2(dataset, query)
+                    processed.append(run.stats.points_processed)
+        total = dataset.num_points
+        min_p, max_p = min(processed), max(processed)
+        minima[name] = 1.0 - max_p / total
+        rows.append(
+            (
+                name,
+                total,
+                min_p,
+                max_p,
+                f"{(1.0 - max_p / total) * 100:.2f}%",
+                f"{(1.0 - min_p / total) * 100:.2f}%",
+            )
+        )
+    print_table(
+        "Table 5: k/2-hop data pruning performance",
+        ("dataset", "total points", "min processed", "max processed",
+         "min pruning", "max pruning"),
+        rows,
+    )
+    # Paper shape: substantial pruning even in the worst parameter combo.
+    for name, worst_case_pruning in minima.items():
+        assert worst_case_pruning > 0.30, name
+
+    dataset = DATASETS["tdrive"]()
+    benchmark.pedantic(
+        lambda: run_k2(dataset, ConvoyQuery(m=3, k=40, eps=250.0)),
+        rounds=1, iterations=1,
+    )

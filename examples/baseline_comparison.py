@@ -1,0 +1,69 @@
+"""k/2-hop vs. every baseline on one dataset.
+
+Times CMC, PCCD, VCoDA, VCoDA*, CuTS, the simulated distributed miners
+(DCM, SPARE) and k/2-hop on the same workload, and checks result agreement
+where the algorithms are exact.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro.baselines import (
+    CuTSConfig,
+    mine_cmc,
+    mine_cuts,
+    mine_pccd,
+    mine_vcoda,
+    mine_vcoda_star,
+)
+from repro.core import ConvoyQuery, K2Hop
+from repro.data import plant_convoys
+from repro.distributed import ClusterSpec, mine_dcm, mine_spare
+
+
+def timed(label, fn):
+    started = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - started
+    convoys = getattr(result, "convoys", result)
+    print(f"{label:<22s} {elapsed * 1e3:9.1f} ms   {len(convoys):3d} convoys")
+    return convoys, elapsed
+
+
+def main() -> None:
+    workload = plant_convoys(
+        n_convoys=3, convoy_size=4, convoy_duration=25, n_noise=50,
+        duration=100, seed=17,
+    )
+    dataset = workload.dataset
+    query = ConvoyQuery(m=3, k=15, eps=workload.eps)
+    print(f"dataset: {dataset.num_points} points / {dataset.num_objects} objects; "
+          f"query m={query.m} k={query.k} eps={query.eps}\n")
+
+    k2, k2_time = timed("k/2-hop", lambda: K2Hop(query).mine(dataset))
+    exact, _ = timed("VCoDA* (exact FC)", lambda: mine_vcoda_star(dataset, query))
+    timed("VCoDA (legacy DCVal)", lambda: mine_vcoda(dataset, query))
+    pccd, _ = timed("PCCD (PC convoys)", lambda: mine_pccd(dataset, query))
+    timed("CMC   (historical)", lambda: mine_cmc(dataset, query))
+    timed("CuTS  (filter+refine)", lambda: mine_cuts(dataset, query, CuTSConfig(delta=1.0)))
+    dcm_result = mine_dcm(dataset, query, n_partitions=4)
+    spare_result = mine_spare(dataset, query)
+    print(f"{'DCM   (4 YARN nodes)':<22s} {dcm_result.simulated_seconds(ClusterSpec.yarn(4)) * 1e3:9.1f} ms*  {len(dcm_result.convoys):3d} convoys")
+    print(f"{'SPARE (8 cores)':<22s} {spare_result.simulated_seconds(ClusterSpec.local(8)) * 1e3:9.1f} ms*  {len(spare_result.convoys):3d} convoys")
+    print("\n(* simulated cluster wall-clock; mining work executed for real)")
+
+    assert set(k2) == set(exact), "k/2-hop must match the exact baseline"
+    print("\nk/2-hop output verified identical to VCoDA*.")
+    recovered = sum(
+        any(t.objects <= c.objects and c.interval.contains_interval(t.interval)
+            for c in k2)
+        for t in workload.convoys
+    )
+    print(f"planted convoys recovered: {recovered}/{len(workload.convoys)}")
+
+
+if __name__ == "__main__":
+    main()

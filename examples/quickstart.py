@@ -1,0 +1,38 @@
+"""Quickstart: plant convoys, mine them back, inspect the statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import mine_convoys, plant_convoys
+
+
+def main() -> None:
+    # Generate a workload with three known convoys hidden in noise.
+    workload = plant_convoys(
+        n_convoys=3,
+        convoy_size=4,
+        convoy_duration=25,
+        n_noise=40,
+        duration=80,
+        seed=42,
+    )
+    print("planted ground truth:")
+    for convoy in sorted(workload.convoys, key=lambda c: c.start):
+        print(f"  {convoy}")
+
+    # Mine: at least 3 objects together for at least 15 consecutive ticks.
+    result = mine_convoys(workload.dataset, m=3, k=15, eps=workload.eps)
+
+    print("\nmined fully connected convoys:")
+    for convoy in result:
+        members = ", ".join(str(o) for o in sorted(convoy.objects))
+        print(f"  ticks [{convoy.start}, {convoy.end}]  objects {{{members}}}")
+
+    print()
+    print(result.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

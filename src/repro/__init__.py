@@ -1,0 +1,51 @@
+"""repro — reproduction of "k/2-hop: Fast Mining of Convoy Patterns With
+Effective Pruning" (Orakzai, Calders, Pedersen; PVLDB 12(9), 2019).
+
+Quickstart::
+
+    from repro import mine_convoys, plant_convoys
+
+    workload = plant_convoys(n_convoys=3, seed=1)
+    result = mine_convoys(workload.dataset, m=3, k=10, eps=workload.eps)
+    for convoy in result:
+        print(convoy)
+"""
+
+from .core import (
+    Convoy,
+    ConvoyEngine,
+    ConvoyQuery,
+    K2Hop,
+    MiningResult,
+    MiningStats,
+    TimeInterval,
+    mine_convoys,
+)
+from .data import (
+    Dataset,
+    generate_brinkhoff,
+    generate_tdrive,
+    generate_trucks,
+    plant_convoys,
+    random_walk_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Convoy",
+    "ConvoyEngine",
+    "ConvoyQuery",
+    "Dataset",
+    "K2Hop",
+    "MiningResult",
+    "MiningStats",
+    "TimeInterval",
+    "__version__",
+    "generate_brinkhoff",
+    "generate_tdrive",
+    "generate_trucks",
+    "mine_convoys",
+    "plant_convoys",
+    "random_walk_dataset",
+]

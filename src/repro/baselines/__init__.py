@@ -1,0 +1,30 @@
+"""Sequential baseline miners the paper evaluates against."""
+
+from .cmc import mine_cmc
+from .cuts import CuTSConfig, mine_cuts
+from .douglas_peucker import douglas_peucker, simplify_trajectory
+from .oracle import mine_oracle
+from .pccd import PCCDState, mine_pccd
+from .vcoda import (
+    RestrictedSource,
+    dcval,
+    mine_vcoda,
+    mine_vcoda_star,
+    validate_recursive,
+)
+
+__all__ = [
+    "CuTSConfig",
+    "PCCDState",
+    "RestrictedSource",
+    "dcval",
+    "douglas_peucker",
+    "mine_cmc",
+    "mine_cuts",
+    "mine_oracle",
+    "mine_pccd",
+    "mine_vcoda",
+    "mine_vcoda_star",
+    "simplify_trajectory",
+    "validate_recursive",
+]

@@ -1,0 +1,55 @@
+"""CMC — the original convoy discovery algorithm (Jeung et al., VLDB 2008).
+
+Sweeps the dataset timestamp by timestamp, clustering every snapshot and
+intersecting the running candidates with the clusters.  This is the faithful
+*published* version, which Yoon & Shahabi later showed to have accuracy
+problems: when a candidate shrinks, the original candidate is dropped
+instead of also being closed, so some maximal convoys are missed and
+reported lifespans can be wrong.  We keep the flaw on purpose — CMC is a
+baseline, and the flaw is part of the historical record the paper builds on
+(PCCD is the corrected version).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..clustering import cluster_snapshot
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.types import Cluster, Convoy, TimeInterval, Timestamp, maximal_convoys
+
+
+def mine_cmc(source: TrajectorySource, query: ConvoyQuery) -> List[Convoy]:
+    """Run CMC and return its (possibly incomplete) convoy set."""
+    active: Dict[Cluster, Timestamp] = {}
+    found: List[Convoy] = []
+
+    def close(objects: Cluster, first: Timestamp, last: Timestamp) -> None:
+        if last - first + 1 >= query.k:
+            found.append(Convoy(objects, TimeInterval(first, last)))
+
+    for t in range(source.start_time, source.end_time + 1):
+        oids, xs, ys = source.snapshot(t)
+        clusters = cluster_snapshot(oids, xs, ys, query.eps, query.m)
+        next_active: Dict[Cluster, Timestamp] = {}
+        for candidate, first_seen in active.items():
+            extended = False
+            for cluster in clusters:
+                joint = candidate & cluster
+                if len(joint) >= query.m:
+                    extended = True
+                    previous = next_active.get(joint)
+                    if previous is None or first_seen < previous:
+                        next_active[joint] = first_seen
+            if not extended:
+                # Candidate dies entirely; CMC emits it if long enough.
+                close(candidate, first_seen, t - 1)
+            # CMC's flaw: when the candidate merely *shrank*, the original
+            # shape is discarded without being emitted.
+        for cluster in clusters:
+            next_active.setdefault(cluster, t)
+        active = next_active
+    for candidate, first_seen in active.items():
+        close(candidate, first_seen, source.end_time)
+    return maximal_convoys(found)

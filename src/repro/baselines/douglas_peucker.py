@@ -1,0 +1,61 @@
+"""Douglas-Peucker polyline simplification (used by the CuTS family).
+
+Reduces a trajectory to the subset of its points whose removal keeps every
+original point within ``tolerance`` of the simplified line — the classic
+O(T^2) worst-case recursive algorithm the CuTS filter phase is built on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def douglas_peucker(points: np.ndarray, tolerance: float) -> np.ndarray:
+    """Indices of the retained points (always includes both endpoints).
+
+    ``points`` is an (n, 2) array ordered along the trajectory.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n <= 2:
+        return np.arange(n, dtype=np.int64)
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    stack: List[Tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        if last - first < 2:
+            continue
+        interior = points[first + 1 : last]
+        distances = _point_segment_distances(interior, points[first], points[last])
+        worst = int(np.argmax(distances))
+        if distances[worst] > tolerance:
+            split = first + 1 + worst
+            keep[split] = True
+            stack.append((first, split))
+            stack.append((split, last))
+    return np.flatnonzero(keep)
+
+
+def simplify_trajectory(
+    ts: np.ndarray, xs: np.ndarray, ys: np.ndarray, tolerance: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simplify a time-ordered trajectory, keeping the timestamps aligned."""
+    points = np.column_stack([xs, ys])
+    kept = douglas_peucker(points, tolerance)
+    return ts[kept], xs[kept], ys[kept]
+
+
+def _point_segment_distances(
+    points: np.ndarray, seg_a: np.ndarray, seg_b: np.ndarray
+) -> np.ndarray:
+    """Euclidean distance from each point to the segment [seg_a, seg_b]."""
+    direction = seg_b - seg_a
+    length_sq = float(direction @ direction)
+    if length_sq == 0.0:
+        return np.linalg.norm(points - seg_a, axis=1)
+    t = np.clip((points - seg_a) @ direction / length_sq, 0.0, 1.0)
+    projections = seg_a + t[:, None] * direction[None, :]
+    return np.linalg.norm(points - projections, axis=1)

@@ -1,0 +1,64 @@
+"""Brute-force oracle for maximal fully connected convoys.
+
+Enumerates *every* object subset of size >= m and finds its maximal runs of
+consecutive timestamps during which the subset forms a single (m,eps)-cluster
+on its own (Definition 4 applied literally).  Exponential in the number of
+objects — usable only on tiny inputs — but entirely independent of every
+miner in the library, which makes it the ground truth for the randomized
+equivalence tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from ..clustering import cluster_snapshot
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.types import Convoy, TimeInterval, maximal_convoys
+
+#: Hard cap: 2^16 subsets is the most a test should ever pay for.
+_MAX_OBJECTS = 16
+
+
+def mine_oracle(source: TrajectorySource, query: ConvoyQuery) -> List[Convoy]:
+    """All maximal FC convoys of length >= k, by exhaustive enumeration."""
+    all_oids = set()
+    timestamps = list(range(source.start_time, source.end_time + 1))
+    for t in timestamps:
+        oids, _, _ = source.snapshot(t)
+        all_oids.update(int(o) for o in oids)
+    if len(all_oids) > _MAX_OBJECTS:
+        raise ValueError(
+            f"oracle limited to {_MAX_OBJECTS} objects, got {len(all_oids)}"
+        )
+    objects = sorted(all_oids)
+    found: List[Convoy] = []
+
+    def flush(group, run_start, last):
+        if run_start is not None and last - run_start + 1 >= query.k:
+            found.append(Convoy(group, TimeInterval(run_start, last)))
+
+    for size in range(query.m, len(objects) + 1):
+        for subset in combinations(objects, size):
+            group = frozenset(subset)
+            run_start = None
+            for t in timestamps:
+                if _is_single_cluster(source, t, subset, query):
+                    if run_start is None:
+                        run_start = t
+                else:
+                    flush(group, run_start, t - 1)
+                    run_start = None
+            flush(group, run_start, timestamps[-1])
+    return maximal_convoys(found)
+
+
+def _is_single_cluster(source, t, subset, query: ConvoyQuery) -> bool:
+    """Does ``subset`` form exactly one (m,eps)-cluster on its own at ``t``?"""
+    oids, xs, ys = source.points_for(t, list(subset))
+    if len(oids) != len(subset):
+        return False  # some member has no fix at t
+    clusters = cluster_snapshot(oids, xs, ys, query.eps, query.m)
+    return clusters == [frozenset(int(o) for o in oids)]

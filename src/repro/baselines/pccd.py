@@ -1,0 +1,78 @@
+"""PCCD — Partially Connected Convoy Discovery (Yoon & Shahabi, 2009).
+
+The corrected CMC: candidate maintenance tracks intersection chains and a
+candidate that does not continue *in its exact shape* is closed (emitted if
+long enough) even when smaller intersections continue.  The output is the
+complete set of maximal (partially connected) convoys of length >= k —
+Definition 3/6 of the k/2-hop paper, before the fully-connected refinement.
+
+Kept deliberately independent of :mod:`repro.core.sweep` (which implements
+the same candidate maintenance for validation) so the two can serve as
+cross-checks of each other in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..clustering import cluster_snapshot
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.types import Cluster, Convoy, TimeInterval, Timestamp, maximal_convoys
+
+
+@dataclass
+class PCCDState:
+    """Resumable sweep state (reused by the DCM distributed baseline)."""
+
+    query: ConvoyQuery
+    active: Dict[Cluster, Timestamp] = field(default_factory=dict)
+    closed: List[Convoy] = field(default_factory=list)
+
+    def step(self, t: Timestamp, clusters: Sequence[Cluster]) -> None:
+        """Advance the sweep by one timestamp's cluster set."""
+        m, k = self.query.m, self.query.k
+        survivors: Dict[Cluster, Timestamp] = {}
+        for candidate, since in self.active.items():
+            kept_whole = False
+            for cluster in clusters:
+                joint = candidate & cluster
+                if len(joint) < m:
+                    continue
+                earlier = survivors.get(joint)
+                if earlier is None or since < earlier:
+                    survivors[joint] = since
+                if joint == candidate:
+                    kept_whole = True
+            if not kept_whole and t - since >= k:
+                self.closed.append(Convoy(candidate, TimeInterval(since, t - 1)))
+        for cluster in clusters:
+            survivors.setdefault(cluster, t)
+        self.active = survivors
+
+    def finish(self, end: Timestamp) -> List[Convoy]:
+        """Close all remaining candidates and return maximal convoys."""
+        k = self.query.k
+        for candidate, since in self.active.items():
+            if end - since + 1 >= k:
+                self.closed.append(Convoy(candidate, TimeInterval(since, end)))
+        self.active = {}
+        return maximal_convoys(self.closed)
+
+    def open_candidates(self) -> List[Convoy]:
+        """Active candidates as convoys (used for cross-split stitching)."""
+        return [
+            Convoy(candidate, TimeInterval(since, since))
+            for candidate, since in self.active.items()
+        ]
+
+
+def mine_pccd(source: TrajectorySource, query: ConvoyQuery) -> List[Convoy]:
+    """All maximal (partially connected) convoys of length >= k."""
+    state = PCCDState(query)
+    for t in range(source.start_time, source.end_time + 1):
+        oids, xs, ys = source.snapshot(t)
+        clusters = cluster_snapshot(oids, xs, ys, query.eps, query.m)
+        state.step(t, clusters)
+    return state.finish(source.end_time)

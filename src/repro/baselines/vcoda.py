@@ -1,0 +1,122 @@
+"""VCoDA — valid (fully connected) convoy discovery, and its correction.
+
+Yoon & Shahabi's pipeline is PCCD followed by a validation step (DCVal)
+that re-examines each discovered convoy in the database restricted to its
+own objects.  The k/2-hop paper points out a flaw in DCVal as published:
+when validation *shrinks or splits* a convoy, the fragments are emitted
+without being validated again, so the output may still contain convoys
+that are not fully connected.
+
+Two drivers are provided:
+
+* :func:`mine_vcoda` — PCCD + single-pass DCVal (the *original*, flawed
+  behaviour, kept as a historical baseline);
+* :func:`mine_vcoda_star` — PCCD + recursive validation (the correction
+  proposed by the k/2-hop paper).  Its output is the exact maximal-FC-convoy
+  set and must match :class:`repro.core.k2hop.K2Hop` — the test suite
+  enforces this equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence, Set
+
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.types import Convoy, maximal_convoys
+from .pccd import PCCDState, mine_pccd
+from ..clustering import cluster_snapshot
+
+
+class RestrictedSource:
+    """A trajectory source restricted to an object set and a time interval.
+
+    Implements the paper's ``DB[T]|O`` so any snapshot-sweeping miner can
+    run on a restriction without materialising it.
+    """
+
+    def __init__(
+        self,
+        source: TrajectorySource,
+        objects: Sequence[int],
+        start: int,
+        end: int,
+    ):
+        self._source = source
+        self._objects = sorted(set(objects))
+        self._start = start
+        self._end = end
+
+    @property
+    def num_points(self) -> int:
+        # Upper bound; exact counting would need a scan.  Only used for
+        # statistics, never for correctness.
+        return len(self._objects) * (self._end - self._start + 1)
+
+    @property
+    def start_time(self) -> int:
+        return self._start
+
+    @property
+    def end_time(self) -> int:
+        return self._end
+
+    def snapshot(self, t: int):
+        return self._source.points_for(t, self._objects)
+
+    def points_for(self, t: int, oids: Sequence[int]):
+        wanted = [oid for oid in oids if oid in set(self._objects)]
+        return self._source.points_for(t, wanted)
+
+
+def dcval(
+    source: TrajectorySource, convoy: Convoy, query: ConvoyQuery
+) -> List[Convoy]:
+    """One validation pass: maximal convoys of ``DB[T(v)]|O(v)``.
+
+    Returns ``[convoy]`` iff the candidate is fully connected; otherwise
+    the (unvalidated!) fragments.
+    """
+    restricted = RestrictedSource(source, convoy.objects, convoy.start, convoy.end)
+    return mine_pccd(restricted, query)
+
+
+def mine_vcoda(source: TrajectorySource, query: ConvoyQuery) -> List[Convoy]:
+    """PCCD + original single-pass DCVal (historically flawed on fragments)."""
+    candidates = mine_pccd(source, query)
+    validated: List[Convoy] = []
+    for candidate in candidates:
+        validated.extend(dcval(source, candidate, query))
+    return maximal_convoys(v for v in validated if v.duration >= query.k)
+
+
+def mine_vcoda_star(source: TrajectorySource, query: ConvoyQuery) -> List[Convoy]:
+    """PCCD + recursive validation: exact maximal fully connected convoys."""
+    candidates = mine_pccd(source, query)
+    return validate_recursive(source, candidates, query)
+
+
+def validate_recursive(
+    source: TrajectorySource, candidates: Sequence[Convoy], query: ConvoyQuery
+) -> List[Convoy]:
+    """Re-validate fragments until a fixpoint (the paper's DCVal correction)."""
+    queue = deque(
+        c for c in candidates if c.duration >= query.k and c.size >= query.m
+    )
+    seen: Set[Convoy] = set(queue)
+    confirmed: List[Convoy] = []
+    while queue:
+        candidate = queue.popleft()
+        fragments = dcval(source, candidate, query)
+        for fragment in fragments:
+            if fragment == candidate:
+                confirmed.append(fragment)
+            elif (
+                fragment.duration >= query.k
+                and fragment.size >= query.m
+                and fragment not in seen
+            ):
+                seen.add(fragment)
+                queue.append(fragment)
+    return maximal_convoys(confirmed)

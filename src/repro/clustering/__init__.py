@@ -1,0 +1,21 @@
+"""Density-based clustering substrate (DBSCAN + spatial indexes)."""
+
+from .dbscan import (
+    cluster_snapshot,
+    dbscan_labels,
+    dbscan_reference,
+    density_cluster_indices,
+)
+from .grid import GridIndex
+from .kdtree import KDTree
+from .neighbors import BruteForceIndex
+
+__all__ = [
+    "BruteForceIndex",
+    "GridIndex",
+    "KDTree",
+    "cluster_snapshot",
+    "dbscan_labels",
+    "dbscan_reference",
+    "density_cluster_indices",
+]

@@ -1,0 +1,203 @@
+"""From-scratch DBSCAN (Ester et al. 1996) over pluggable neighbor indexes.
+
+Semantics match the paper exactly:
+
+* the eps-neighborhood of ``p`` includes ``p`` itself;
+* ``p`` is a core point when ``|NH(p, eps)| >= m``;
+* clusters are maximal density-connected sets and include border points;
+* only clusters with at least ``m`` members are returned (``(m,eps)``-clusters
+  per Definition 2 — a cluster necessarily has >= m members because it
+  contains a core point's whole neighborhood).
+
+The main entry point, :func:`cluster_snapshot`, clusters the objects present
+at a single timestamp and returns clusters as frozen sets of *object ids*
+(not positional indices), which is the currency of every convoy miner here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.types import Cluster
+from .grid import GridIndex
+from .neighbors import BruteForceIndex
+
+#: Below this snapshot size a vectorised brute-force index wins over the grid.
+_BRUTE_FORCE_THRESHOLD = 48
+
+# Label values used internally.
+_UNVISITED = -2
+_NOISE = -1
+
+
+def _make_index(xs: np.ndarray, ys: np.ndarray, eps: float):
+    if len(xs) <= _BRUTE_FORCE_THRESHOLD:
+        return BruteForceIndex(xs, ys)
+    return GridIndex(xs, ys, eps)
+
+
+def dbscan_labels(
+    xs: np.ndarray, ys: np.ndarray, eps: float, min_pts: int, index=None
+) -> np.ndarray:
+    """Label each point with its cluster id, or -1 for noise.
+
+    Cluster ids are consecutive integers starting at 0, assigned in order of
+    discovery (deterministic given input order).
+    """
+    n = len(xs)
+    labels = np.full(n, _UNVISITED, dtype=np.int64)
+    if n == 0:
+        return labels
+    if index is None:
+        index = _make_index(xs, ys, eps)
+    cluster_id = 0
+    for seed in range(n):
+        if labels[seed] != _UNVISITED:
+            continue
+        seed_neighbors = index.neighbors(seed, eps)
+        if len(seed_neighbors) < min_pts:
+            labels[seed] = _NOISE
+            continue
+        # Grow a new cluster from this core point via BFS.
+        labels[seed] = cluster_id
+        queue = deque(int(j) for j in seed_neighbors if labels[j] == _UNVISITED)
+        for j in seed_neighbors:
+            if labels[j] in (_UNVISITED, _NOISE):
+                labels[j] = cluster_id
+        while queue:
+            point = queue.popleft()
+            neighborhood = index.neighbors(point, eps)
+            if len(neighborhood) < min_pts:
+                continue  # border point: joins, never expands
+            for j in neighborhood:
+                j = int(j)
+                if labels[j] == _UNVISITED:
+                    labels[j] = cluster_id
+                    queue.append(j)
+                elif labels[j] == _NOISE:
+                    labels[j] = cluster_id
+        cluster_id += 1
+    return labels
+
+
+def density_cluster_indices(
+    xs: np.ndarray, ys: np.ndarray, eps: float, m: int, index=None
+) -> List[List[int]]:
+    """Maximal density-connected sets (Definition 2), as point-index lists.
+
+    Unlike classic DBSCAN labelling, *border points join every cluster they
+    are density-reachable from* — clusters may overlap on border points.
+    This is required for exactness: assigning a shared border point to only
+    one cluster can push the other below ``m`` members and silently destroy
+    a convoy that Definition 3 admits.
+
+    Each cluster is a connected component of the core-point graph plus all
+    border points within ``eps`` of any of its cores.
+    """
+    n = len(xs)
+    if n == 0:
+        return []
+    if index is None:
+        index = _make_index(xs, ys, eps)
+    neighbor_lists = [index.neighbors(i, eps) for i in range(n)]
+    core = np.array([len(nl) >= m for nl in neighbor_lists], dtype=bool)
+    component = np.full(n, -1, dtype=np.int64)
+    n_components = 0
+    for seed in range(n):
+        if not core[seed] or component[seed] != -1:
+            continue
+        component[seed] = n_components
+        queue = deque([seed])
+        while queue:
+            p = queue.popleft()
+            for q in neighbor_lists[p]:
+                q = int(q)
+                if core[q] and component[q] == -1:
+                    component[q] = n_components
+                    queue.append(q)
+        n_components += 1
+    clusters: List[List[int]] = [[] for _ in range(n_components)]
+    for i in range(n):
+        if core[i]:
+            clusters[component[i]].append(i)
+        else:
+            # Border (or noise) point: attach to every component owning a
+            # core point within eps.
+            seen_components = set()
+            for q in neighbor_lists[i]:
+                q = int(q)
+                if core[q]:
+                    seen_components.add(int(component[q]))
+            for comp in seen_components:
+                clusters[comp].append(i)
+    return [sorted(cluster) for cluster in clusters if len(cluster) >= m]
+
+
+def cluster_snapshot(
+    oids: Sequence[int],
+    xs: np.ndarray,
+    ys: np.ndarray,
+    eps: float,
+    m: int,
+) -> List[Cluster]:
+    """(m,eps)-clusters of one snapshot, as frozen sets of object ids.
+
+    ``oids[i]`` is the object whose position is ``(xs[i], ys[i])``.  The
+    result is sorted by smallest member id so callers see a deterministic
+    ordering.  Border points may appear in several clusters (see
+    :func:`density_cluster_indices`).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(oids) != len(xs):
+        raise ValueError("oids and coordinates must have identical lengths")
+    if len(oids) < m:
+        return []
+    oid_array = np.asarray(oids, dtype=np.int64)
+    clusters = [
+        frozenset(int(oid_array[i]) for i in members)
+        for members in density_cluster_indices(xs, ys, eps, m)
+    ]
+    return sorted(clusters, key=lambda c: min(c))
+
+
+def dbscan_reference(
+    xs: np.ndarray, ys: np.ndarray, eps: float, min_pts: int
+) -> np.ndarray:
+    """O(n^2) textbook DBSCAN used as the test oracle.
+
+    Independent of the index machinery: computes the full distance matrix,
+    derives core points, then finds connected components of the core graph
+    and attaches border points to the cluster of *a* core neighbor (the
+    first by index, matching discovery order of :func:`dbscan_labels`).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    n = len(xs)
+    labels = np.full(n, _NOISE, dtype=np.int64)
+    if n == 0:
+        return labels
+    dx = xs[:, None] - xs[None, :]
+    dy = ys[:, None] - ys[None, :]
+    adjacent = dx * dx + dy * dy <= eps * eps
+    core = adjacent.sum(axis=1) >= min_pts
+    cluster_id = 0
+    for seed in range(n):
+        if not core[seed] or labels[seed] != _NOISE:
+            continue
+        # BFS over core points in index order to mirror discovery order.
+        labels[seed] = cluster_id
+        queue = deque([seed])
+        while queue:
+            p = queue.popleft()
+            for q in np.flatnonzero(adjacent[p]):
+                q = int(q)
+                if labels[q] == _NOISE:
+                    labels[q] = cluster_id
+                    if core[q]:
+                        queue.append(q)
+        cluster_id += 1
+    return labels

@@ -1,0 +1,64 @@
+"""Uniform grid index for eps-range queries.
+
+Cells have side ``eps`` so a range query only needs to examine the 3x3 block
+of cells around the query point.  Construction is O(n); a query costs the
+number of points in those nine cells, which for the sparse snapshots of
+trajectory data is nearly constant.  This is the index the k/2-hop pipeline
+uses by default.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+_NEIGHBOR_OFFSETS: Tuple[Tuple[int, int], ...] = tuple(
+    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+)
+
+
+class GridIndex:
+    """Hash-grid over 2-D points with cell size ``eps``."""
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, eps: float):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self._xs = np.asarray(xs, dtype=np.float64)
+        self._ys = np.asarray(ys, dtype=np.float64)
+        if self._xs.shape != self._ys.shape:
+            raise ValueError("xs and ys must have identical shapes")
+        self._eps = float(eps)
+        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        cx = np.floor(self._xs / eps).astype(np.int64)
+        cy = np.floor(self._ys / eps).astype(np.int64)
+        for i, key in enumerate(zip(cx.tolist(), cy.tolist())):
+            self._cells[key].append(i)
+        self._cx = cx
+        self._cy = cy
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def neighbors(self, i: int, eps: float) -> np.ndarray:
+        """Points within ``eps`` of point ``i``.
+
+        ``eps`` may be at most the construction cell size (the grid geometry
+        guarantees the 3x3 block covers that radius).
+        """
+        if eps > self._eps * (1 + 1e-12):
+            raise ValueError(
+                f"query eps {eps} exceeds grid cell size {self._eps}"
+            )
+        cx, cy = int(self._cx[i]), int(self._cy[i])
+        candidates: List[int] = []
+        for dx, dy in _NEIGHBOR_OFFSETS:
+            bucket = self._cells.get((cx + dx, cy + dy))
+            if bucket:
+                candidates.extend(bucket)
+        idx = np.asarray(candidates, dtype=np.int64)
+        ddx = self._xs[idx] - self._xs[i]
+        ddy = self._ys[idx] - self._ys[i]
+        mask = ddx * ddx + ddy * ddy <= eps * eps
+        return idx[mask]

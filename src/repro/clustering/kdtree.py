@@ -1,0 +1,99 @@
+"""A from-scratch 2-D kd-tree supporting eps-range queries.
+
+Provided as an alternative neighbor index for workloads whose spatial extent
+is so skewed that a uniform grid degenerates (all points in few cells).
+Implemented iteratively (explicit stacks) to stay clear of Python's
+recursion limit on large snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class KDTree:
+    """Static kd-tree over 2-D points; median-split, leaf buckets."""
+
+    _LEAF_SIZE = 16
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray):
+        self._xs = np.asarray(xs, dtype=np.float64)
+        self._ys = np.asarray(ys, dtype=np.float64)
+        if self._xs.shape != self._ys.shape:
+            raise ValueError("xs and ys must have identical shapes")
+        n = len(self._xs)
+        self._pts = np.column_stack([self._xs, self._ys])
+        # Node arrays; node 0 is the root. -1 marks "no child" / leaf.
+        self._split_dim: List[int] = []
+        self._split_val: List[float] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._leaf_points: List[np.ndarray] = []
+        if n:
+            self._build(np.arange(n, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def _new_node(self) -> int:
+        self._split_dim.append(-1)
+        self._split_val.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._leaf_points.append(np.empty(0, dtype=np.int64))
+        return len(self._split_dim) - 1
+
+    def _build(self, root_idx: np.ndarray) -> None:
+        root = self._new_node()
+        stack = [(root, root_idx, 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            if len(idx) <= self._LEAF_SIZE:
+                self._leaf_points[node] = idx
+                continue
+            dim = depth % 2
+            coords = self._pts[idx, dim]
+            order = np.argsort(coords, kind="stable")
+            idx = idx[order]
+            mid = len(idx) // 2
+            self._split_dim[node] = dim
+            self._split_val[node] = float(self._pts[idx[mid], dim])
+            left, right = self._new_node(), self._new_node()
+            self._left[node] = left
+            self._right[node] = right
+            stack.append((left, idx[:mid], depth + 1))
+            stack.append((right, idx[mid:], depth + 1))
+
+    def neighbors(self, i: int, eps: float) -> np.ndarray:
+        """Indices of points within ``eps`` of point ``i`` (inclusive)."""
+        return self.range_query(float(self._xs[i]), float(self._ys[i]), eps)
+
+    def range_query(self, x: float, y: float, eps: float) -> np.ndarray:
+        if not len(self._xs):
+            return np.empty(0, dtype=np.int64)
+        q = np.array([x, y])
+        eps2 = eps * eps
+        hits: List[np.ndarray] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            dim = self._split_dim[node]
+            if dim == -1:  # leaf
+                idx = self._leaf_points[node]
+                if len(idx):
+                    d = self._pts[idx] - q
+                    mask = (d * d).sum(axis=1) <= eps2
+                    if mask.any():
+                        hits.append(idx[mask])
+                continue
+            delta = q[dim] - self._split_val[node]
+            # Right child holds coords >= split value, left holds < value.
+            if delta <= eps:
+                stack.append(self._left[node])
+            if delta >= -eps:
+                stack.append(self._right[node])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(hits))

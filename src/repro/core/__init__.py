@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the k/2-hop convoy miner."""
+
+from .bench_points import HopWindow, benchmark_points, hop_windows
+from .engine import ConvoyEngine, advise_store
+from .k2hop import K2Hop, MiningResult, mine_convoys
+from .params import ConvoyQuery
+from .stats import MiningStats
+from .types import (
+    Cluster,
+    Convoy,
+    ConvoySet,
+    TimeInterval,
+    as_cluster,
+    maximal_convoys,
+    sort_convoys,
+    update_maximal,
+)
+
+__all__ = [
+    "Cluster",
+    "Convoy",
+    "ConvoyEngine",
+    "ConvoySet",
+    "ConvoyQuery",
+    "advise_store",
+    "HopWindow",
+    "K2Hop",
+    "MiningResult",
+    "MiningStats",
+    "TimeInterval",
+    "as_cluster",
+    "benchmark_points",
+    "hop_windows",
+    "maximal_convoys",
+    "mine_convoys",
+    "sort_convoys",
+    "update_maximal",
+]

@@ -1,0 +1,50 @@
+"""Benchmark points and hop windows (§4.1 of the paper).
+
+Benchmark points are timestamps spaced ``hop = floor(k/2)`` apart, starting
+at the dataset's first tick.  Any ``k`` consecutive ticks inside the dataset
+contain at least two *consecutive* benchmark points (Lemma 3), because any
+``2*hop <= k`` consecutive integers contain two multiples of ``hop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .types import Timestamp
+
+
+@dataclass(frozen=True)
+class HopWindow:
+    """The open interval between two consecutive benchmark points.
+
+    ``left`` and ``right`` are the bordering benchmark points; the window's
+    interior timestamps are ``left + 1 .. right - 1`` (possibly empty when
+    ``hop == 1``).  Spanning convoys of the window get lifespan
+    ``[left, right]`` (Algorithm 2, line 11).
+    """
+
+    left: Timestamp
+    right: Timestamp
+
+    def __post_init__(self) -> None:
+        if self.right <= self.left:
+            raise ValueError(f"degenerate hop window [{self.left}, {self.right}]")
+
+    @property
+    def interior(self) -> range:
+        return range(self.left + 1, self.right)
+
+
+def benchmark_points(start: Timestamp, end: Timestamp, hop: int) -> List[Timestamp]:
+    """Benchmark points ``start + i*hop`` up to ``end`` inclusive."""
+    if hop < 1:
+        raise ValueError(f"hop must be >= 1, got {hop}")
+    if end < start:
+        return []
+    return list(range(start, end + 1, hop))
+
+
+def hop_windows(points: List[Timestamp]) -> List[HopWindow]:
+    """Hop windows between consecutive benchmark points."""
+    return [HopWindow(a, b) for a, b in zip(points, points[1:])]

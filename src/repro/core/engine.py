@@ -1,0 +1,218 @@
+"""High-level facade: named datasets, storage advice, algorithm registry.
+
+The paper's conclusion gives operational guidance — "k2-RDBMS performs the
+best in small to medium datasets, whereas k2-LSMT outperforms k2-RDBMS in
+large datasets" — and §5 lists the storage requirements.  The engine turns
+that guidance into a one-call API: register a dataset, and ``mine`` picks
+the backend (or accepts an explicit choice) and the algorithm by name.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..data.dataset import Dataset
+from .k2hop import K2Hop, MiningResult
+from .params import ConvoyQuery
+from .stats import MiningStats
+from .types import Convoy
+
+#: Datasets below this point count fit comfortably in memory.
+MEMORY_THRESHOLD = 100_000
+#: Above this, the LSM store's scan behaviour wins (paper's conclusion).
+LSMT_THRESHOLD = 1_000_000
+
+AlgorithmFn = Callable[[object, ConvoyQuery], List[Convoy]]
+
+
+def _run_k2hop(source, query: ConvoyQuery) -> List[Convoy]:
+    return K2Hop(query).mine(source).convoys
+
+
+def _algorithms() -> Dict[str, AlgorithmFn]:
+    from ..baselines import mine_cmc, mine_pccd, mine_vcoda, mine_vcoda_star
+
+    return {
+        "k2hop": _run_k2hop,
+        "vcoda*": mine_vcoda_star,
+        "vcoda": mine_vcoda,
+        "pccd": mine_pccd,
+        "cmc": mine_cmc,
+    }
+
+
+def advise_store(num_points: int) -> str:
+    """Backend recommendation per the paper's conclusion (§7)."""
+    if num_points <= MEMORY_THRESHOLD:
+        return "memory"
+    if num_points <= LSMT_THRESHOLD:
+        return "rdbms"
+    return "lsmt"
+
+
+@dataclass
+class ComparisonRow:
+    """One algorithm's outcome in :meth:`ConvoyEngine.compare`."""
+
+    algorithm: str
+    seconds: float
+    convoys: List[Convoy]
+
+
+class ConvoyEngine:
+    """Facade over datasets, stores and miners.
+
+    Example::
+
+        engine = ConvoyEngine()
+        engine.register("traffic", dataset)
+        result = engine.mine("traffic", m=3, k=20, eps=30.0)
+    """
+
+    def __init__(self, workdir: Optional[str] = None):
+        self._datasets: Dict[str, Dataset] = {}
+        self._stores: Dict[tuple, object] = {}
+        self._workdir = workdir or tempfile.mkdtemp(prefix="convoy-engine-")
+        self._owns_workdir = workdir is None
+
+    # -- dataset registry ----------------------------------------------------
+
+    def register(self, name: str, dataset: Dataset) -> None:
+        if name in self._datasets:
+            raise ValueError(f"dataset {name!r} already registered")
+        self._datasets[name] = dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {name!r}; registered: {sorted(self._datasets)}"
+            ) from None
+
+    @property
+    def datasets(self) -> List[str]:
+        return sorted(self._datasets)
+
+    # -- storage --------------------------------------------------------------
+
+    def open_store(self, name: str, kind: str = "auto"):
+        """Materialise (and cache) the dataset in the chosen backend."""
+        dataset = self.dataset(name)
+        if kind == "auto":
+            kind = advise_store(dataset.num_points)
+        key = (name, kind)
+        if key in self._stores:
+            return self._stores[key]
+        if kind == "memory":
+            from ..storage import MemoryStore
+
+            store = MemoryStore(dataset)
+        elif kind == "file":
+            from ..storage import FlatFileStore
+
+            store = FlatFileStore.create(
+                os.path.join(self._workdir, f"{name}.bin"), dataset
+            )
+        elif kind == "rdbms":
+            from ..storage import RelationalStore
+
+            store = RelationalStore.create(
+                os.path.join(self._workdir, f"{name}.db"), dataset
+            )
+        elif kind == "lsmt":
+            from ..storage import LSMTStore
+
+            store = LSMTStore.create(
+                os.path.join(self._workdir, f"{name}-lsm"), dataset
+            )
+        else:
+            raise ValueError(f"unknown store kind {kind!r}")
+        self._stores[key] = store
+        return store
+
+    # -- mining ----------------------------------------------------------------
+
+    def mine(
+        self,
+        name: str,
+        m: int,
+        k: int,
+        eps: float,
+        *,
+        algorithm: str = "k2hop",
+        store: str = "auto",
+    ) -> MiningResult:
+        """Mine a registered dataset; returns convoys + stats.
+
+        Non-k2hop algorithms return no pruning statistics (they do not
+        prune), only the result set and total wall time.
+        """
+        query = ConvoyQuery(m=m, k=k, eps=eps)
+        source = self.open_store(name, store)
+        algorithms = _algorithms()
+        if algorithm not in algorithms:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; options: {sorted(algorithms)}"
+            )
+        if algorithm == "k2hop":
+            return K2Hop(query).mine(source)
+        started = time.perf_counter()
+        convoys = algorithms[algorithm](source, query)
+        stats = MiningStats(total_points=source.num_points)
+        stats.phase_times["total"] = time.perf_counter() - started
+        stats.convoy_count = len(convoys)
+        return MiningResult(convoys, stats)
+
+    def compare(
+        self,
+        name: str,
+        m: int,
+        k: int,
+        eps: float,
+        algorithms: Sequence[str] = ("k2hop", "vcoda*", "pccd"),
+        store: str = "memory",
+    ) -> List[ComparisonRow]:
+        """Run several algorithms on one query; k2hop must match vcoda*."""
+        rows: List[ComparisonRow] = []
+        for algorithm in algorithms:
+            started = time.perf_counter()
+            result = self.mine(
+                name, m, k, eps, algorithm=algorithm, store=store
+            )
+            rows.append(
+                ComparisonRow(
+                    algorithm=algorithm,
+                    seconds=time.perf_counter() - started,
+                    convoys=list(result.convoys),
+                )
+            )
+        by_name = {row.algorithm: row for row in rows}
+        if "k2hop" in by_name and "vcoda*" in by_name:
+            if set(by_name["k2hop"].convoys) != set(by_name["vcoda*"].convoys):
+                raise AssertionError(
+                    "exactness violation: k2hop and vcoda* disagree"
+                )
+        return rows
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            close = getattr(store, "close", None)
+            if close is not None:
+                close()
+        self._stores.clear()
+        if self._owns_workdir:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+
+    def __enter__(self) -> "ConvoyEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

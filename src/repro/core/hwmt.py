@@ -1,0 +1,91 @@
+"""Hop-Window Mining Tree (Algorithm 2) and its ordering.
+
+The HWMT is a binary tree over a window's interior timestamps with the
+middle timestamp at the root; levels are processed root-first, which means
+the *farthest-apart* timestamps are clustered first.  Objects that are only
+coincidentally together at adjacent ticks are unlikely to be together at
+distant ticks, so this order empties the candidate set as early as possible
+and the whole window is abandoned without reading the remaining ticks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+from ..clustering import cluster_snapshot
+from .bench_points import HopWindow
+from .params import ConvoyQuery
+from .source import TrajectorySource
+from .stats import MiningStats
+from .types import Cluster, Convoy, TimeInterval, Timestamp
+
+
+def hwmt_order(left: Timestamp, right: Timestamp) -> List[Timestamp]:
+    """Level-order (BFS) midpoint-first ordering of the open interval.
+
+    ``left`` and ``right`` are *exclusive* bounds (the window's benchmark
+    points, already clustered).  Each node is the floor-midpoint of its
+    open sub-interval; within a level, timestamps run left to right, as in
+    Figure 4 of the paper.
+    """
+    order: List[Timestamp] = []
+    queue = deque([(left, right)])
+    while queue:
+        lo, hi = queue.popleft()
+        if hi - lo <= 1:
+            continue  # empty open interval
+        mid = (lo + hi) // 2
+        order.append(mid)
+        queue.append((lo, mid))
+        queue.append((mid, hi))
+    return order
+
+
+def recluster(
+    source: TrajectorySource,
+    t: Timestamp,
+    objects: Cluster,
+    query: ConvoyQuery,
+    stats: MiningStats = None,
+    phase: str = "hwmt",
+) -> List[Cluster]:
+    """DBSCAN over the points of ``objects`` at tick ``t`` (the paper's
+    ``reCluster``): validates togetherness of a candidate at one timestamp."""
+    oids, xs, ys = source.points_for(t, sorted(objects))
+    if stats is not None:
+        stats.add_points(phase, len(oids))
+    if len(oids) < query.m:
+        return []
+    return cluster_snapshot(oids, xs, ys, query.eps, query.m)
+
+
+def mine_hop_window(
+    source: TrajectorySource,
+    window: HopWindow,
+    candidates: Sequence[Cluster],
+    query: ConvoyQuery,
+    stats: MiningStats = None,
+) -> List[Convoy]:
+    """1st-order spanning candidate convoys of one hop window.
+
+    Starting from the window's candidate clusters, re-cluster at each HWMT
+    timestamp; candidates shrink or split monotonically.  Survivors of all
+    interior timestamps span the window and get lifespan ``[left, right]``.
+    """
+    surviving: List[Cluster] = list(candidates)
+    if not surviving:
+        return []
+    for t in hwmt_order(window.left, window.right):
+        next_surviving: List[Cluster] = []
+        seen = set()
+        for candidate in surviving:
+            for cluster in recluster(source, t, candidate, query, stats):
+                if cluster not in seen:
+                    seen.add(cluster)
+                    next_surviving.append(cluster)
+        if not next_surviving:
+            return []
+        surviving = next_surviving
+    interval = TimeInterval(window.left, window.right)
+    return [Convoy(cluster, interval) for cluster in surviving]

@@ -1,0 +1,54 @@
+"""Merging 1st-order spanning convoys into maximal spanning convoys (§4.4).
+
+This is the DCM-merge of the paper: windows are processed left to right;
+convoys open at the shared benchmark point are intersected with the next
+window's spanning convoys.  A convoy that does not continue *as a whole*
+is closed — it is a maximal spanning convoy (Definition 9) unless subsumed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .types import Convoy, TimeInterval, update_maximal
+
+
+def merge_spanning_convoys(
+    windows: Sequence[Sequence[Convoy]], m: int
+) -> List[Convoy]:
+    """Merge per-window spanning convoys into maximal spanning convoys.
+
+    ``windows[i]`` must hold convoys spanning hop window ``H_i`` — all with
+    the same lifespan ``[b_i, b_{i+1}]`` — in left-to-right window order
+    (the invariant is checked).  Returns mutually non-subsumed convoys with
+    benchmark-aligned lifespans.
+    """
+    closed: List[Convoy] = []
+    open_convoys: List[Convoy] = []  # all end at the upcoming window's left edge
+    for window_convoys in windows:
+        if window_convoys:
+            edge = window_convoys[0].start
+            if any(c.start != edge for c in window_convoys):
+                raise ValueError("window convoys must share one lifespan")
+            if any(c.end <= edge for c in window_convoys):
+                raise ValueError("window convoys must span forward in time")
+        next_open: List[Convoy] = []
+        for convoy in open_convoys:
+            continued_fully = False
+            for spanning in window_convoys:
+                joint = convoy.objects & spanning.objects
+                if len(joint) >= m:
+                    merged = Convoy(
+                        joint, TimeInterval(convoy.start, spanning.end)
+                    )
+                    update_maximal(next_open, merged)
+                    if joint == convoy.objects:
+                        continued_fully = True
+            if not continued_fully:
+                update_maximal(closed, convoy)
+        for spanning in window_convoys:
+            update_maximal(next_open, spanning)
+        open_convoys = next_open
+    for convoy in open_convoys:
+        update_maximal(closed, convoy)
+    return closed

@@ -1,0 +1,47 @@
+"""Convoy query parameters.
+
+The paper's three user parameters: ``m`` (minimum convoy size, also DBSCAN's
+``minPts``), ``k`` (minimum convoy duration in timestamps) and ``eps`` (the
+density distance threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConvoyQuery:
+    """Validated (m, k, eps) convoy query.
+
+    Parameters
+    ----------
+    m:
+        Minimum number of objects in a convoy (and DBSCAN ``minPts``).
+    k:
+        Minimum number of consecutive timestamps a convoy must last.
+    eps:
+        Distance threshold for density connectedness.
+    """
+
+    m: int
+    k: int
+    eps: float
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ValueError(f"m must be >= 2, got {self.m}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not self.eps > 0:
+            raise ValueError(f"eps must be positive, got {self.eps}")
+
+    @property
+    def hop(self) -> int:
+        """Benchmark-point spacing ``floor(k/2)`` (at least 1).
+
+        The paper places benchmark points every ``k/2`` timestamps; with
+        ``k < 2`` the spacing degenerates to one, which makes every
+        timestamp a benchmark point and k/2-hop an exact snapshot miner.
+        """
+        return max(1, self.k // 2)

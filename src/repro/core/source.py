@@ -1,0 +1,41 @@
+"""The access-path protocol every miner runs against.
+
+Both the in-memory :class:`repro.data.Dataset` and the on-disk stores in
+:mod:`repro.storage` satisfy this protocol, which captures exactly the two
+access paths §5 of the paper identifies: full snapshot scans (benchmark
+points) and keyed point lookups by ``(t, oid)`` (everything else).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+Snapshot = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@runtime_checkable
+class TrajectorySource(Protocol):
+    """Read-side protocol of a trajectory store."""
+
+    @property
+    def num_points(self) -> int:
+        """Total number of (oid, t, x, y) rows."""
+        ...
+
+    @property
+    def start_time(self) -> int:
+        ...
+
+    @property
+    def end_time(self) -> int:
+        ...
+
+    def snapshot(self, t: int) -> Snapshot:
+        """All objects present at tick ``t`` as (oids, xs, ys), oid-sorted."""
+        ...
+
+    def points_for(self, t: int, oids: Sequence[int]) -> Snapshot:
+        """Subset of snapshot ``t`` restricted to the given object ids."""
+        ...

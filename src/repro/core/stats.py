@@ -1,0 +1,100 @@
+"""Mining statistics: per-phase wall times and data-pruning counters.
+
+These numbers back two of the paper's experiments directly:
+
+* Figure 8i — per-phase execution time of the k/2-hop pipeline;
+* Table 5 — points processed vs. total points ("pruning performance").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+#: Canonical phase names, in pipeline order (mirrors Algorithm 1).
+PHASES = (
+    "benchmark_clustering",
+    "candidate_intersection",
+    "hwmt",
+    "merge",
+    "extend_right",
+    "extend_left",
+    "validation",
+)
+
+
+@dataclass
+class MiningStats:
+    """Counters filled in by :class:`repro.core.k2hop.K2Hop`."""
+
+    #: Wall-clock seconds spent in each pipeline phase.
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: Number of (oid, t) points fetched for clustering, per phase.
+    points_processed_by_phase: Dict[str, int] = field(default_factory=dict)
+    #: Total points in the dataset (for the pruning ratio).
+    total_points: int = 0
+    #: Benchmark points used.
+    benchmark_point_count: int = 0
+    #: Candidate clusters surviving the intersection step.
+    candidate_cluster_count: int = 0
+    #: 1st-order spanning convoys found by HWMT.
+    spanning_convoy_count: int = 0
+    #: Maximal spanning convoys after merging.
+    merged_convoy_count: int = 0
+    #: Convoys entering the validation phase (Figure 8j).
+    pre_validation_convoy_count: int = 0
+    #: Final fully connected convoys.
+    convoy_count: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        """Accumulate wall time of a pipeline phase."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phase_times[phase] = self.phase_times.get(phase, 0.0) + elapsed
+
+    def add_points(self, phase: str, count: int) -> None:
+        # Guarded: the parallel miner updates counters from worker threads.
+        with self._lock:
+            current = self.points_processed_by_phase.get(phase, 0)
+            self.points_processed_by_phase[phase] = current + count
+
+    @property
+    def points_processed(self) -> int:
+        """Total points touched by clustering across all phases."""
+        return sum(self.points_processed_by_phase.values())
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of the dataset *not* touched (Table 5's "pruning")."""
+        if self.total_points == 0:
+            return 0.0
+        processed = min(self.points_processed, self.total_points)
+        return 1.0 - processed / self.total_points
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.phase_times.values())
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (used by the CLI and examples)."""
+        lines = ["k/2-hop mining statistics:"]
+        for phase in PHASES:
+            if phase in self.phase_times:
+                lines.append(
+                    f"  {phase:<24s} {self.phase_times[phase] * 1e3:9.2f} ms"
+                )
+        lines.append(f"  total points            {self.total_points:>12d}")
+        lines.append(f"  points processed        {self.points_processed:>12d}")
+        lines.append(f"  pruning                 {self.pruning_ratio * 100:11.2f} %")
+        lines.append(f"  convoys found           {self.convoy_count:>12d}")
+        return "\n".join(lines)

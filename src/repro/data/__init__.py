@@ -1,0 +1,32 @@
+"""Data substrate: dataset container, IO, generators, preprocessing."""
+
+from .brinkhoff import BrinkhoffConfig, BrinkhoffGenerator, generate_brinkhoff
+from .dataset import Dataset, DatasetInfo
+from .interpolate import interpolate_dataset
+from .io import load_csv, load_npz, save_csv, save_npz
+from .planter import PlantedWorkload, plant_convoys, random_walk_dataset
+from .roadnet import RoadNetwork, generate_road_network
+from .tdrive import TDriveConfig, generate_tdrive
+from .trucks import TrucksConfig, generate_trucks
+
+__all__ = [
+    "BrinkhoffConfig",
+    "BrinkhoffGenerator",
+    "Dataset",
+    "DatasetInfo",
+    "PlantedWorkload",
+    "RoadNetwork",
+    "TDriveConfig",
+    "TrucksConfig",
+    "generate_brinkhoff",
+    "generate_road_network",
+    "generate_tdrive",
+    "generate_trucks",
+    "interpolate_dataset",
+    "load_csv",
+    "load_npz",
+    "plant_convoys",
+    "random_walk_dataset",
+    "save_csv",
+    "save_npz",
+]

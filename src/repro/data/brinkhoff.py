@@ -1,0 +1,205 @@
+"""Brinkhoff-style network-based moving-object generator.
+
+Re-implements the behaviour the paper relies on (§6.2.3): objects appear over
+time, pick random destinations, follow travel-time shortest paths through a
+road network at edge-class speeds, and disappear on arrival (or re-route,
+keeping the population alive).  "External objects" move freely off-network,
+as in the original generator.
+
+Parameters mirror Table 4's vocabulary: ``obj_begin`` objects at time zero,
+``obj_per_time`` new objects per tick, ``max_time`` ticks, plus the external
+object knobs.  Scale is configurable; the defaults are laptop-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .dataset import Dataset
+from .roadnet import RoadNetwork, generate_road_network
+
+
+@dataclass
+class BrinkhoffConfig:
+    """Generator knobs (names follow the original generator / Table 4)."""
+
+    max_time: int = 200
+    obj_begin: int = 100
+    obj_per_time: int = 4
+    ext_obj_begin: int = 4
+    ext_obj_per_time: int = 0
+    #: Objects travel this many route legs before retiring.
+    routes_per_object: int = 2
+    #: Base distance covered per tick at speed 1.0 (scales edge speeds).
+    speed_scale: float = 3.0
+    seed: int = 13
+    network: Optional[RoadNetwork] = None
+
+
+@dataclass
+class _Traveler:
+    """One on-network object following a node path."""
+
+    oid: int
+    path: List[int]
+    leg: int  # index of the current edge's source node within path
+    offset: float  # distance progressed along the current edge
+    routes_left: int
+
+
+class BrinkhoffGenerator:
+    """Network-based moving-object generator."""
+
+    def __init__(self, config: Optional[BrinkhoffConfig] = None):
+        self.config = config or BrinkhoffConfig()
+        self.network = self.config.network or generate_road_network(
+            seed=self.config.seed
+        )
+
+    def generate(self) -> Dataset:
+        """Run the simulation and return the point table."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        oids: List[int] = []
+        ts: List[int] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        travelers: List[_Traveler] = []
+        externals: List[Tuple[int, float, float, float, float]] = []
+        next_oid = 0
+
+        def spawn_traveler() -> None:
+            nonlocal next_oid
+            path = self._random_route(rng)
+            travelers.append(
+                _Traveler(
+                    oid=next_oid,
+                    path=path,
+                    leg=0,
+                    offset=0.0,
+                    routes_left=cfg.routes_per_object,
+                )
+            )
+            next_oid += 1
+
+        def spawn_external() -> None:
+            nonlocal next_oid
+            x = float(rng.uniform(0, self.network.width))
+            y = float(rng.uniform(0, self.network.height))
+            angle = float(rng.uniform(0, 2 * np.pi))
+            speed = float(rng.uniform(10.0, 40.0))
+            externals.append(
+                (next_oid, x, y, speed * np.cos(angle), speed * np.sin(angle))
+            )
+            next_oid += 1
+
+        for _ in range(cfg.obj_begin):
+            spawn_traveler()
+        for _ in range(cfg.ext_obj_begin):
+            spawn_external()
+
+        for tick in range(cfg.max_time):
+            if tick > 0:
+                for _ in range(cfg.obj_per_time):
+                    spawn_traveler()
+                for _ in range(cfg.ext_obj_per_time):
+                    spawn_external()
+            survivors: List[_Traveler] = []
+            for traveler in travelers:
+                x, y = self._advance(traveler, rng)
+                oids.append(traveler.oid)
+                ts.append(tick)
+                xs.append(x)
+                ys.append(y)
+                if traveler.leg < len(traveler.path) - 1 or traveler.routes_left > 0:
+                    survivors.append(traveler)
+            travelers = survivors
+            next_externals = []
+            for oid, x, y, vx, vy in externals:
+                oids.append(oid)
+                ts.append(tick)
+                xs.append(x)
+                ys.append(y)
+                nx_, ny_ = x + vx, y + vy
+                # Bounce off the data-space boundary.
+                if not 0 <= nx_ <= self.network.width:
+                    vx = -vx
+                    nx_ = x + vx
+                if not 0 <= ny_ <= self.network.height:
+                    vy = -vy
+                    ny_ = y + vy
+                next_externals.append((oid, nx_, ny_, vx, vy))
+            externals = next_externals
+
+        return Dataset(np.array(oids), np.array(ts), np.array(xs), np.array(ys))
+
+    # -- internals -----------------------------------------------------------
+
+    def _random_route(self, rng: np.random.Generator) -> List[int]:
+        source = self.network.random_node(rng)
+        target = self.network.random_node(rng)
+        while target == source:
+            target = self.network.random_node(rng)
+        return self.network.shortest_path(source, target)
+
+    def _advance(
+        self, traveler: _Traveler, rng: np.random.Generator
+    ) -> Tuple[float, float]:
+        """Move one tick along the path; return the position reported.
+
+        The per-tick distance budget is set by the speed of the edge the
+        object starts the tick on and is consumed across edge crossings.
+        """
+        path = traveler.path
+        budget: Optional[float] = None
+        while True:
+            if traveler.leg >= len(path) - 1:
+                # Arrived; start a new route from here if any remain.
+                if traveler.routes_left > 0:
+                    traveler.routes_left -= 1
+                    new_target = self.network.random_node(rng)
+                    if new_target != path[-1]:
+                        traveler.path = self.network.shortest_path(
+                            path[-1], new_target
+                        )
+                        traveler.leg = 0
+                        traveler.offset = 0.0
+                        path = traveler.path
+                        continue
+                return self.network.node_position(path[-1])
+            u, v = path[traveler.leg], path[traveler.leg + 1]
+            length = self.network.edge_length(u, v)
+            if budget is None:
+                speed = self.network.edge_speed(u, v)
+                budget = speed / 30.0 * self.config.speed_scale
+            if traveler.offset + budget < length:
+                traveler.offset += budget
+                ux, uy = self.network.node_position(u)
+                vx, vy = self.network.node_position(v)
+                frac = traveler.offset / length
+                return (ux + (vx - ux) * frac, uy + (vy - uy) * frac)
+            budget -= length - traveler.offset
+            traveler.offset = 0.0
+            traveler.leg += 1
+
+
+def generate_brinkhoff(
+    *,
+    max_time: int = 200,
+    obj_begin: int = 100,
+    obj_per_time: int = 4,
+    seed: int = 13,
+    network: Optional[RoadNetwork] = None,
+) -> Dataset:
+    """One-call convenience wrapper around :class:`BrinkhoffGenerator`."""
+    config = BrinkhoffConfig(
+        max_time=max_time,
+        obj_begin=obj_begin,
+        obj_per_time=obj_per_time,
+        seed=seed,
+        network=network,
+    )
+    return BrinkhoffGenerator(config).generate()

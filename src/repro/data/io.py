@@ -1,0 +1,56 @@
+"""Dataset serialisation: CSV (human-friendly) and NPZ (fast binary)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .dataset import Dataset
+
+PathLike = Union[str, Path]
+
+_CSV_HEADER = ("oid", "t", "x", "y")
+
+
+def save_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write the 4-column ``(oid, t, x, y)`` table as CSV with a header."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for oid, t, x, y in dataset.iter_records():
+            writer.writerow((oid, t, repr(x), repr(y)))
+
+
+def load_csv(path: PathLike) -> Dataset:
+    """Read a CSV produced by :func:`save_csv` (header optional)."""
+    oids, ts, xs, ys = [], [], [], []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row:
+                continue
+            if row[0] == _CSV_HEADER[0]:
+                continue  # header line
+            oids.append(int(row[0]))
+            ts.append(int(row[1]))
+            xs.append(float(row[2]))
+            ys.append(float(row[3]))
+    return Dataset(np.array(oids), np.array(ts), np.array(xs), np.array(ys))
+
+
+def save_npz(dataset: Dataset, path: PathLike) -> None:
+    """Write the dataset as a compressed numpy archive."""
+    np.savez_compressed(
+        path, oids=dataset.oids, ts=dataset.ts, xs=dataset.xs, ys=dataset.ys
+    )
+
+
+def load_npz(path: PathLike) -> Dataset:
+    with np.load(path) as archive:
+        return Dataset(
+            archive["oids"], archive["ts"], archive["xs"], archive["ys"],
+            presorted=True,
+        )

@@ -1,0 +1,126 @@
+"""Synthetic planar road networks for the Brinkhoff-style generator.
+
+The original generator runs on the Oldenburg road map; we build a comparable
+structure: a jittered grid of nodes with 4-neighbor connectivity, thinned by
+random edge removal (keeping the graph connected) and augmented with a few
+diagonal "highways".  Edge classes carry speed limits, as in Brinkhoff's
+network classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class RoadNetwork:
+    """An undirected road graph with node coordinates and edge speeds."""
+
+    graph: nx.Graph
+    positions: Dict[NodeId, Tuple[float, float]]
+    width: float
+    height: float
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def edge_length(self, u: NodeId, v: NodeId) -> float:
+        return float(self.graph.edges[u, v]["length"])
+
+    def edge_speed(self, u: NodeId, v: NodeId) -> float:
+        return float(self.graph.edges[u, v]["speed"])
+
+    def node_position(self, node: NodeId) -> Tuple[float, float]:
+        return self.positions[node]
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> List[NodeId]:
+        """Travel-time shortest path (Dijkstra on length/speed weights)."""
+        return nx.shortest_path(self.graph, source, target, weight="travel_time")
+
+    def random_node(self, rng: np.random.Generator) -> NodeId:
+        return int(rng.integers(self.num_nodes))
+
+
+def generate_road_network(
+    *,
+    grid_size: int = 12,
+    width: float = 10_000.0,
+    height: float = 10_000.0,
+    removal_fraction: float = 0.15,
+    highway_count: int = 6,
+    seed: int = 7,
+) -> RoadNetwork:
+    """Build a connected planar-ish road network.
+
+    ``grid_size`` x ``grid_size`` jittered intersections; ~``removal_fraction``
+    of local streets removed (never disconnecting); ``highway_count`` long
+    fast edges added between distant nodes.
+    """
+    if grid_size < 2:
+        raise ValueError("grid_size must be >= 2")
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    positions: Dict[NodeId, Tuple[float, float]] = {}
+    step_x = width / (grid_size - 1)
+    step_y = height / (grid_size - 1)
+
+    def node_id(i: int, j: int) -> int:
+        return i * grid_size + j
+
+    for i in range(grid_size):
+        for j in range(grid_size):
+            jitter_x = float(rng.uniform(-0.25, 0.25) * step_x)
+            jitter_y = float(rng.uniform(-0.25, 0.25) * step_y)
+            x = min(max(i * step_x + jitter_x, 0.0), width)
+            y = min(max(j * step_y + jitter_y, 0.0), height)
+            node = node_id(i, j)
+            graph.add_node(node)
+            positions[node] = (x, y)
+
+    def add_edge(u: int, v: int, speed: float) -> None:
+        ux, uy = positions[u]
+        vx, vy = positions[v]
+        length = float(np.hypot(vx - ux, vy - uy))
+        graph.add_edge(u, v, length=length, speed=speed,
+                       travel_time=length / speed)
+
+    street_speed, avenue_speed, highway_speed = 30.0, 60.0, 120.0
+    for i in range(grid_size):
+        for j in range(grid_size):
+            # Alternate street/avenue speeds to create preferred corridors.
+            if i + 1 < grid_size:
+                speed = avenue_speed if j % 3 == 0 else street_speed
+                add_edge(node_id(i, j), node_id(i + 1, j), speed)
+            if j + 1 < grid_size:
+                speed = avenue_speed if i % 3 == 0 else street_speed
+                add_edge(node_id(i, j), node_id(i, j + 1), speed)
+
+    # Thin the grid without disconnecting it.
+    edges = list(graph.edges)
+    rng.shuffle(edges)
+    to_remove = int(len(edges) * removal_fraction)
+    for u, v in edges[:to_remove]:
+        data = dict(graph.edges[u, v])
+        graph.remove_edge(u, v)
+        if not nx.is_connected(graph):
+            graph.add_edge(u, v, **data)
+
+    # A few fast long-range highways.
+    nodes = list(graph.nodes)
+    for _ in range(highway_count):
+        u, v = rng.choice(nodes, size=2, replace=False)
+        if u != v and not graph.has_edge(int(u), int(v)):
+            add_edge(int(u), int(v), highway_speed)
+
+    return RoadNetwork(graph=graph, positions=positions, width=width, height=height)

@@ -1,0 +1,18 @@
+"""Distributed comparators (DCM, SPARE) over a simulated cluster."""
+
+from .dcm import DCMResult, mine_dcm
+from .mapreduce import run_mapreduce
+from .simulator import ClusterSpec, JobReport, StageReport, makespan
+from .spare import SPAREResult, mine_spare
+
+__all__ = [
+    "ClusterSpec",
+    "DCMResult",
+    "JobReport",
+    "SPAREResult",
+    "StageReport",
+    "makespan",
+    "mine_dcm",
+    "mine_spare",
+    "run_mapreduce",
+]

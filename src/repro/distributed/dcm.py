@@ -1,0 +1,114 @@
+"""DCM — Distributed Convoy Mining (Orakzai et al., MDM 2016), simulated.
+
+The data is partitioned along the time axis; each map task mines its
+partition with the (corrected) CMC sweep, *keeping candidates of every
+length* because a convoy crossing a boundary only reaches length ``k``
+after stitching; the reduce task merges partition results left to right by
+intersecting convoys that meet at partition boundaries.
+
+As in the original, DCM mines partially connected convoys (it is CMC-based);
+its output therefore matches :func:`repro.baselines.pccd.mine_pccd`, which
+the tests assert.  The cluster is simulated (see
+:mod:`repro.distributed.simulator`); the mining work is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..baselines.pccd import PCCDState
+from ..clustering import cluster_snapshot
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.types import Convoy, TimeInterval, maximal_convoys, update_maximal
+from .mapreduce import run_mapreduce
+from .simulator import ClusterSpec, JobReport
+
+
+@dataclass
+class DCMResult:
+    convoys: List[Convoy]
+    report: JobReport
+
+    def simulated_seconds(self, spec: ClusterSpec) -> float:
+        return self.report.simulated_seconds(spec)
+
+
+def mine_dcm(
+    source: TrajectorySource, query: ConvoyQuery, n_partitions: int = 4
+) -> DCMResult:
+    """Run DCM over ``n_partitions`` temporal splits."""
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    partitions = _split_time(source.start_time, source.end_time, n_partitions)
+
+    def map_partition(index: int, bounds: Tuple[int, int]):
+        lo, hi = bounds
+        # Mine with k=1 locally: every together-interval is a candidate.
+        local_query = ConvoyQuery(m=query.m, k=1, eps=query.eps)
+        state = PCCDState(local_query)
+        for t in range(lo, hi + 1):
+            oids, xs, ys = source.snapshot(t)
+            state.step(t, cluster_snapshot(oids, xs, ys, query.eps, query.m))
+        local = state.finish(hi)
+        yield 0, (index, bounds, local)
+
+    def reduce_merge(_key, partition_results):
+        ordered = sorted(partition_results)
+        merged = _stitch(ordered, query)
+        yield from merged
+
+    outputs, report = run_mapreduce(
+        list(enumerate(partitions)), map_partition, reduce_merge
+    )
+    return DCMResult(convoys=maximal_convoys(outputs), report=report)
+
+
+def _split_time(start: int, end: int, n: int) -> List[Tuple[int, int]]:
+    """Split [start, end] into ``n`` near-equal contiguous partitions."""
+    total = end - start + 1
+    n = min(n, total)
+    base, extra = divmod(total, n)
+    bounds = []
+    lo = start
+    for i in range(n):
+        hi = lo + base - 1 + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi + 1
+    return bounds
+
+
+def _stitch(
+    ordered: Sequence[Tuple[int, Tuple[int, int], List[Convoy]]],
+    query: ConvoyQuery,
+) -> List[Convoy]:
+    """Merge per-partition convoys across boundaries, then apply ``k``."""
+    results: List[Convoy] = []
+    open_convoys: List[Convoy] = []  # convoys ending at the previous boundary
+    for _index, (lo, hi), local in ordered:
+        continuing = [c for c in local if c.start == lo]
+        next_open: List[Convoy] = []
+        for convoy in open_convoys:
+            extended_whole = False
+            for other in continuing:
+                joint = convoy.objects & other.objects
+                if len(joint) >= query.m:
+                    merged = Convoy(joint, TimeInterval(convoy.start, other.end))
+                    if merged.end == hi:
+                        update_maximal(next_open, merged)
+                    else:
+                        update_maximal(results, merged)
+                    if joint == convoy.objects:
+                        extended_whole = True
+            if not extended_whole:
+                update_maximal(results, convoy)
+        for convoy in local:
+            if convoy.end == hi:
+                update_maximal(next_open, convoy)
+            else:
+                update_maximal(results, convoy)
+        open_convoys = next_open
+    for convoy in open_convoys:
+        update_maximal(results, convoy)
+    return [c for c in results if c.duration >= query.k]

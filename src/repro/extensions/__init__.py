@@ -1,0 +1,28 @@
+"""Extensions realising the paper's §7 future-work directions."""
+
+from .evolving import EvolvingConvoy, mine_evolving_convoys
+from .flocks import Flock, disks_at, mine_flocks, mine_flocks_k2
+from .moving_clusters import (
+    MovingCluster,
+    jaccard,
+    mine_moving_clusters,
+    mine_moving_clusters_k2,
+)
+from .parallel import mine_convoys_parallel
+from .streaming import StreamingConvoyMonitor, replay
+
+__all__ = [
+    "EvolvingConvoy",
+    "Flock",
+    "MovingCluster",
+    "mine_evolving_convoys",
+    "StreamingConvoyMonitor",
+    "disks_at",
+    "jaccard",
+    "mine_convoys_parallel",
+    "mine_flocks",
+    "mine_flocks_k2",
+    "mine_moving_clusters",
+    "mine_moving_clusters_k2",
+    "replay",
+]

@@ -1,0 +1,182 @@
+"""Flock patterns (Gudmundsson & van Kreveld; Vieira et al.) — §7 item two.
+
+A *flock* is a group of at least ``m`` objects that stay within a disk of
+radius ``r`` for at least ``k`` consecutive timestamps.  This is the
+pattern the convoy definition generalises (the paper's §2 discusses the
+disk-shape limitation at length).
+
+Disk discovery per snapshot follows the BFE observation: if a group fits
+in a disk of radius r, a disk of radius r whose boundary passes through
+*two of the points* (or centred on one point) also covers the group, so
+candidate disk centres can be enumerated from point pairs at distance
+<= 2r.  Flocks are then chained over time exactly like convoys —
+including with the k/2-hop benchmark-point pruning, which is *exact* here:
+flock membership is fixed over the flock's lifetime (no drift), so Lemma 3
+and the candidate-intersection argument (Lemma 5) apply verbatim.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.bench_points import benchmark_points
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.types import Cluster, Convoy, TimeInterval, maximal_convoys
+
+#: A flock result reuses the Convoy value type (objects + closed interval).
+Flock = Convoy
+
+
+def disks_at(
+    oids: Sequence[int], xs: np.ndarray, ys: np.ndarray, radius: float, m: int
+) -> List[Cluster]:
+    """Maximal disk groups of one snapshot (BFE candidate-centre method).
+
+    Returns the distinct maximal object sets coverable by a radius-``radius``
+    disk with at least ``m`` members.
+    """
+    n = len(oids)
+    if n < m:
+        return []
+    points = np.column_stack([np.asarray(xs, float), np.asarray(ys, float)])
+    oid_array = np.asarray(oids, dtype=np.int64)
+    centres: List[np.ndarray] = [points[i] for i in range(n)]
+    # Candidate centres from pairs at distance <= 2r: the two centres of
+    # radius-r disks through both points.
+    for i, j in combinations(range(n), 2):
+        delta = points[j] - points[i]
+        d2 = float(delta @ delta)
+        if d2 > 4 * radius * radius or d2 == 0.0:
+            continue
+        mid = (points[i] + points[j]) / 2.0
+        half = np.sqrt(max(radius * radius - d2 / 4.0, 0.0))
+        d = np.sqrt(d2)
+        normal = np.array([-delta[1], delta[0]]) / d
+        centres.append(mid + normal * half)
+        centres.append(mid - normal * half)
+    groups: Set[Cluster] = set()
+    r2 = radius * radius * (1 + 1e-9)
+    for centre in centres:
+        d = points - centre
+        inside = (d * d).sum(axis=1) <= r2
+        if inside.sum() >= m:
+            groups.add(frozenset(int(o) for o in oid_array[inside]))
+    # Keep only maximal groups.
+    maximal: List[Cluster] = []
+    for group in sorted(groups, key=len, reverse=True):
+        if not any(group < kept for kept in maximal):
+            maximal.append(group)
+    return sorted(maximal, key=lambda g: min(g))
+
+
+def mine_flocks(
+    source: TrajectorySource, query: ConvoyQuery
+) -> List[Flock]:
+    """Baseline flock miner: disks at every snapshot + convoy-style chaining.
+
+    ``query.eps`` is interpreted as the disk *radius*.
+    """
+    active: Dict[Cluster, int] = {}
+    found: List[Flock] = []
+
+    def close(group: Cluster, first: int, last: int) -> None:
+        if last - first + 1 >= query.k:
+            found.append(Convoy(group, TimeInterval(first, last)))
+
+    for t in range(source.start_time, source.end_time + 1):
+        oids, xs, ys = source.snapshot(t)
+        disks = disks_at(oids, xs, ys, query.eps, query.m)
+        survivors: Dict[Cluster, int] = {}
+        for candidate, since in active.items():
+            kept_whole = False
+            for disk in disks:
+                joint = candidate & disk
+                if len(joint) < query.m:
+                    continue
+                earlier = survivors.get(joint)
+                if earlier is None or since < earlier:
+                    survivors[joint] = since
+                if joint == candidate:
+                    kept_whole = True
+            if not kept_whole:
+                close(candidate, since, t - 1)
+        for disk in disks:
+            survivors.setdefault(disk, t)
+        active = survivors
+    for candidate, since in active.items():
+        close(candidate, since, source.end_time)
+    return maximal_convoys(found)
+
+
+def mine_flocks_k2(
+    source: TrajectorySource, query: ConvoyQuery
+) -> List[Flock]:
+    """k/2-hop-accelerated flock mining (exact).
+
+    Benchmark snapshots are disk-clustered; candidate groups are the
+    pairwise intersections of adjacent benchmark disk sets (Lemma 5 holds:
+    a flock's object set sits inside one maximal disk group at every tick
+    it is alive).  Sweeping is then restricted to the candidates' objects
+    inside each active region; results equal :func:`mine_flocks`.
+    """
+    if query.k < 2:
+        return mine_flocks(source, query)
+    start, end = source.start_time, source.end_time
+    if end - start + 1 < query.k:
+        return []
+    points = benchmark_points(start, end, query.hop)
+    bench_disks: Dict[int, List[Cluster]] = {}
+    for t in points:
+        oids, xs, ys = source.snapshot(t)
+        bench_disks[t] = disks_at(oids, xs, ys, query.eps, query.m)
+
+    flock_objects: Set[int] = set()
+    active_regions: List[List[int]] = []
+    for a, b in zip(points, points[1:]):
+        members: Set[int] = set()
+        for da in bench_disks[a]:
+            for db in bench_disks[b]:
+                joint = da & db
+                if len(joint) >= query.m:
+                    members |= joint
+        if members:
+            flock_objects |= members
+            if active_regions and a <= active_regions[-1][1]:
+                active_regions[-1][1] = b
+            else:
+                active_regions.append([a, b])
+    if not flock_objects:
+        return []
+    results: List[Flock] = []
+    for lo, hi in active_regions:
+        lo = max(start, lo - query.hop)
+        hi = min(end, hi + query.hop)
+        view = _RestrictedView(source, sorted(flock_objects), lo, hi)
+        results.extend(mine_flocks(view, query))
+    return maximal_convoys(results)
+
+
+class _RestrictedView:
+    """Source view restricted to an object set and a time slice."""
+
+    def __init__(self, source, objects: Sequence[int], start: int, end: int):
+        self._source = source
+        self._objects = list(objects)
+        self._object_set = set(objects)
+        self.start_time = start
+        self.end_time = end
+
+    @property
+    def num_points(self) -> int:
+        return self._source.num_points
+
+    def snapshot(self, t: int):
+        return self._source.points_for(t, self._objects)
+
+    def points_for(self, t: int, oids: Sequence[int]):
+        wanted = [o for o in oids if o in self._object_set]
+        return self._source.points_for(t, wanted)

@@ -1,0 +1,184 @@
+"""Streaming convoy monitor — online discovery over an unbounded feed.
+
+Related to Tang et al.'s traveling-companion discovery (§2): instead of
+mining a stored dataset, the monitor ingests one snapshot at a time and
+emits convoys *as they close* (their objects stop being density-connected)
+or on demand for the still-open candidates.
+
+The candidate maintenance is the corrected (PCCD-style) intersection
+chain; an optional validation hook reduces emissions to fully connected
+convoys using the recorded history window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering import cluster_snapshot
+from ..core.params import ConvoyQuery
+from ..core.types import Cluster, Convoy, TimeInterval, Timestamp, maximal_convoys
+from ..core.validate import validate_convoys
+from ..data.dataset import Dataset
+
+
+class StreamingConvoyMonitor:
+    """Online convoy detection over an append-only snapshot stream.
+
+    Parameters
+    ----------
+    query:
+        The (m, k, eps) convoy query to monitor.
+    history:
+        Number of recent snapshots retained for validation.  ``0`` disables
+        full-connectivity validation (emissions are then the *partially
+        connected* convoys, like CMC/PCCD).
+    on_convoy:
+        Optional callback invoked with each convoy the moment it closes.
+    """
+
+    def __init__(
+        self,
+        query: ConvoyQuery,
+        history: int = 0,
+        on_convoy: Optional[Callable[[Convoy], None]] = None,
+    ):
+        self.query = query
+        self.history = history
+        self.on_convoy = on_convoy
+        self._active: Dict[Cluster, Timestamp] = {}
+        self._closed: List[Convoy] = []
+        self._last_time: Optional[Timestamp] = None
+        self._window: Deque[Tuple[Timestamp, np.ndarray, np.ndarray, np.ndarray]] = (
+            deque()
+        )
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(
+        self,
+        t: Timestamp,
+        oids: Sequence[int],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> List[Convoy]:
+        """Ingest the snapshot at time ``t``; returns convoys closed by it.
+
+        Timestamps must arrive strictly increasing.  A gap in timestamps
+        closes every active candidate (objects were unobserved, hence not
+        provably together).
+        """
+        if self._last_time is not None and t <= self._last_time:
+            raise ValueError(f"non-monotonic timestamp {t}")
+        gap_emissions: List[Convoy] = []
+        if self._last_time is not None and t > self._last_time + 1:
+            gap_emissions = self._flush_all(self._last_time)
+        self._last_time = t
+        oid_arr = np.asarray(oids, dtype=np.int64)
+        xs_arr = np.asarray(xs, dtype=np.float64)
+        ys_arr = np.asarray(ys, dtype=np.float64)
+        if self.history:
+            self._window.append((t, oid_arr, xs_arr, ys_arr))
+            while len(self._window) > self.history:
+                self._window.popleft()
+        clusters = cluster_snapshot(
+            oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
+        )
+        emitted: List[Convoy] = list(gap_emissions)
+        survivors: Dict[Cluster, Timestamp] = {}
+        for candidate, since in self._active.items():
+            kept_whole = False
+            for cluster in clusters:
+                joint = candidate & cluster
+                if len(joint) < self.query.m:
+                    continue
+                earlier = survivors.get(joint)
+                if earlier is None or since < earlier:
+                    survivors[joint] = since
+                if joint == candidate:
+                    kept_whole = True
+            if not kept_whole:
+                emitted.extend(self._close(candidate, since, t - 1))
+        for cluster in clusters:
+            survivors.setdefault(cluster, t)
+        self._active = survivors
+        return emitted
+
+    def finish(self) -> List[Convoy]:
+        """Close every remaining candidate (end of stream)."""
+        if self._last_time is None:
+            return []
+        emitted = self._flush_all(self._last_time)
+        return emitted
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def closed_convoys(self) -> List[Convoy]:
+        """All convoys emitted so far, maximal-filtered."""
+        return maximal_convoys(self._closed)
+
+    def open_candidates(self) -> List[Convoy]:
+        """Currently-alive candidates as convoys up to the last snapshot."""
+        if self._last_time is None:
+            return []
+        return [
+            Convoy(objects, TimeInterval(since, self._last_time))
+            for objects, since in self._active.items()
+        ]
+
+    # -- internals --------------------------------------------------------------
+
+    def _flush_all(self, end: Timestamp) -> List[Convoy]:
+        emitted: List[Convoy] = []
+        for candidate, since in self._active.items():
+            emitted.extend(self._close(candidate, since, end))
+        self._active = {}
+        return emitted
+
+    def _close(
+        self, objects: Cluster, first: Timestamp, last: Timestamp
+    ) -> List[Convoy]:
+        if last - first + 1 < self.query.k:
+            return []
+        convoy = Convoy(objects, TimeInterval(first, last))
+        results = [convoy]
+        if self.history:
+            results = self._validate(convoy)
+        for result in results:
+            self._closed.append(result)
+            if self.on_convoy is not None:
+                self.on_convoy(result)
+        return results
+
+    def _validate(self, convoy: Convoy) -> List[Convoy]:
+        """Validate against the retained history window (best effort).
+
+        If the convoy extends beyond the window, only the covered suffix
+        can be checked; the uncovered prefix is emitted unvalidated with
+        the interval annotated as-is (the stream cannot rewind).
+        """
+        covered = {t for t, *_ in self._window}
+        if not all(t in covered for t in convoy.interval):
+            return [convoy]
+        records = []
+        for t, oid_arr, xs_arr, ys_arr in self._window:
+            if t in convoy.interval:
+                for oid, x, y in zip(oid_arr, xs_arr, ys_arr):
+                    records.append((int(oid), int(t), float(x), float(y)))
+        dataset = Dataset.from_records(records)
+        return validate_convoys(dataset, [convoy], self.query)
+
+
+def replay(
+    dataset: Dataset, query: ConvoyQuery, history: int = 0
+) -> List[Convoy]:
+    """Feed a stored dataset through the monitor (testing/benchmark aid)."""
+    monitor = StreamingConvoyMonitor(query, history=history)
+    for t in dataset.timestamps().tolist():
+        oids, xs, ys = dataset.snapshot(t)
+        monitor.observe(t, oids, xs, ys)
+    monitor.finish()
+    return monitor.closed_convoys

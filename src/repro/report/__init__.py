@@ -1,0 +1,5 @@
+"""Reporting helpers (ASCII charts for the reproduced figures)."""
+
+from .plot import ascii_chart, print_chart
+
+__all__ = ["ascii_chart", "print_chart"]

@@ -1,0 +1,92 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+The benchmark harness prints tables; this module turns the same series
+into log-scale line charts comparable to the paper's gnuplot figures, so
+``pytest benchmarks/ -s`` output can be eyeballed against the PDF.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render named series over shared x values as an ASCII chart.
+
+    Each series gets a marker character; the legend maps markers to names.
+    ``log_y`` plots on a log10 axis (most of the paper's figures are
+    log-scale).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("all series must align with x_values")
+    points: List[Tuple[float, float, str]] = []
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        for x, y in zip(x_values, values):
+            points.append((float(x), float(y), marker))
+
+    def transform(y: float) -> float:
+        if log_y:
+            return math.log10(max(y, 1e-12))
+        return y
+
+    ys = [transform(y) for _, y, _ in points]
+    xs = [x for x, _, _ in points]
+    y_lo, y_hi = min(ys), max(ys)
+    x_lo, x_hi = min(xs), max(xs)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((transform(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    bottom_label = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_lo:<10.4g}{' ' * max(0, width - 24)}{x_hi:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def print_chart(series, x_values, **kwargs) -> None:
+    print()
+    print(ascii_chart(series, x_values, **kwargs))

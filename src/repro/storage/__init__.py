@@ -1,0 +1,28 @@
+"""Persistent storage substrates (§5): flat file, relational B+tree, LSM."""
+
+from .bptree import BPlusTree
+from .flatfile import FlatFileStore
+from .interface import IOStats
+from .lsm.tree import LSMTree
+from .lsmstore import LSMTStore
+from .memory import MemoryStore
+from .pager import PAGE_SIZE, BufferPool, Pager
+from .record import decode_key, decode_value, encode_key, encode_value
+from .relational import RelationalStore
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "FlatFileStore",
+    "IOStats",
+    "LSMTStore",
+    "LSMTree",
+    "MemoryStore",
+    "PAGE_SIZE",
+    "Pager",
+    "RelationalStore",
+    "decode_key",
+    "decode_value",
+    "encode_key",
+    "encode_value",
+]

@@ -1,0 +1,86 @@
+"""Flat-file store: an append-only binary log (§5's "k2-File").
+
+Rows are fixed 32-byte records in arbitrary (insertion) order.  The format
+supports exactly one access path — the full scan — so, as the paper notes,
+k/2-hop "does not benefit from it": the first query pays one full scan that
+materialises the table in memory, and all subsequent access is in-memory.
+This mirrors the paper's k2-File behaviour (fastest on small data that fits
+in RAM, first to die on big data).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .interface import IOStats
+
+_ROW = struct.Struct(">qqdd")  # oid, t, x, y
+
+
+class FlatFileStore:
+    """Binary row log; every cold query triggers one full scan."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.stats = IOStats()
+        self._cache: Optional[Dataset] = None
+
+    @staticmethod
+    def create(path: str, dataset: Dataset) -> "FlatFileStore":
+        store = FlatFileStore(path)
+        with open(path, "wb") as handle:
+            for oid, t, x, y in dataset.iter_records():
+                handle.write(_ROW.pack(oid, t, x, y))
+        store.stats.bytes_written += dataset.num_points * _ROW.size
+        return store
+
+    def _load(self) -> Dataset:
+        """Full scan: read and decode every record (counted once)."""
+        if self._cache is None:
+            size = os.path.getsize(self.path)
+            oids, ts, xs, ys = [], [], [], []
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+            for offset in range(0, size, _ROW.size):
+                oid, t, x, y = _ROW.unpack_from(data, offset)
+                oids.append(oid)
+                ts.append(t)
+                xs.append(x)
+                ys.append(y)
+            self.stats.full_scans += 1
+            self.stats.bytes_read += size
+            self.stats.seeks += 1
+            self._cache = Dataset(
+                np.asarray(oids), np.asarray(ts), np.asarray(xs), np.asarray(ys)
+            )
+        return self._cache
+
+    # -- TrajectorySource ----------------------------------------------------
+
+    @property
+    def num_points(self) -> int:
+        return os.path.getsize(self.path) // _ROW.size
+
+    @property
+    def start_time(self) -> int:
+        return self._load().start_time
+
+    @property
+    def end_time(self) -> int:
+        return self._load().end_time
+
+    def snapshot(self, t: int):
+        self.stats.range_scans += 1
+        return self._load().snapshot(t)
+
+    def points_for(self, t: int, oids: Sequence[int]):
+        self.stats.point_queries += 1
+        return self._load().points_for(t, oids)
+
+    def close(self) -> None:
+        self._cache = None

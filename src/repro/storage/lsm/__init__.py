@@ -1,0 +1,19 @@
+"""From-scratch log-structured merge tree."""
+
+from .bloom import BloomFilter
+from .compaction import compact, merge_runs
+from .memtable import MemTable
+from .sstable import SSTable, write_sstable
+from .tree import LSMTree
+from .wal import WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "LSMTree",
+    "MemTable",
+    "SSTable",
+    "WriteAheadLog",
+    "compact",
+    "merge_runs",
+    "write_sstable",
+]

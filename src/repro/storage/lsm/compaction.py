@@ -1,0 +1,41 @@
+"""Size-tiered compaction: k-way merge of sorted runs.
+
+When the number of SSTables exceeds the policy's fan-in, all runs are merged
+into a single new run.  Newer runs win on duplicate keys (last-write-wins),
+which the merge implements by tagging each heap entry with the run's age.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from ..interface import IOStats
+from .sstable import SSTable, write_sstable
+
+
+def merge_runs(tables: List[SSTable]) -> Iterator[Tuple[bytes, bytes]]:
+    """Merge sorted runs; ``tables[0]`` is newest and wins duplicates."""
+    heap = []
+    iterators = [table.items() for table in tables]
+    for age, iterator in enumerate(iterators):
+        entry = next(iterator, None)
+        if entry is not None:
+            heapq.heappush(heap, (entry[0], age, entry[1]))
+    previous_key: Optional[bytes] = None
+    while heap:
+        key, age, value = heapq.heappop(heap)
+        nxt = next(iterators[age], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], age, nxt[1]))
+        if key == previous_key:
+            continue  # an older duplicate; the newer value already went out
+        previous_key = key
+        yield key, value
+
+
+def compact(
+    tables: List[SSTable], output_path: str, stats: Optional[IOStats] = None
+) -> SSTable:
+    """Merge all runs (newest first) into one new SSTable."""
+    return write_sstable(output_path, merge_runs(tables), stats)

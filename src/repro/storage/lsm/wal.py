@@ -1,0 +1,59 @@
+"""Write-ahead log: durability for the memtable between flushes.
+
+Each entry is ``len(key) len(value) key value`` with 32-bit lengths; replay
+stops at the first truncated entry (a torn final write is discarded, all
+complete entries are recovered).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator, Tuple
+
+_LENGTHS = struct.Struct(">II")
+
+
+class WriteAheadLog:
+    """Append-only log of key/value writes."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = open(path, "ab")
+
+    def append(self, key: bytes, value: bytes) -> None:
+        self._file.write(_LENGTHS.pack(len(key), len(value)))
+        self._file.write(key)
+        self._file.write(value)
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def truncate(self) -> None:
+        """Discard the log after a successful memtable flush."""
+        self._file.close()
+        self._file = open(self.path, "wb")
+
+    def close(self) -> None:
+        self._file.close()
+
+    @staticmethod
+    def replay(path: str) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield complete entries in write order; stop at a torn tail."""
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _LENGTHS.size <= len(data):
+            key_len, value_len = _LENGTHS.unpack_from(data, offset)
+            end = offset + _LENGTHS.size + key_len + value_len
+            if end > len(data):
+                return  # torn write
+            key_start = offset + _LENGTHS.size
+            yield (
+                data[key_start : key_start + key_len],
+                data[key_start + key_len : end],
+            )
+            offset = end

@@ -1,0 +1,122 @@
+"""LSM-backed trajectory store (§5.2's "k2-LSMT").
+
+Composite key ``(t, oid)``, value ``(x, y)``.  Benchmark-point data is one
+range scan from ``(t, 0)`` to ``(t, max_oid)`` — co-located in the sorted
+runs, so it costs a single seek per run — and HWMT access is a point get
+per ``(t, oid)`` pair, bloom-filtered per run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .interface import IOStats
+from .lsm.tree import LSMTree
+from .record import decode_key, decode_value, encode_key, encode_value, time_range_keys
+
+Snapshot = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class LSMTStore:
+    """Trajectory store over :class:`repro.storage.lsm.tree.LSMTree`."""
+
+    def __init__(self, directory: str, **lsm_options):
+        self.stats = IOStats()
+        self._tree = LSMTree(directory, stats=self.stats, **lsm_options)
+        self._bounds: Optional[Tuple[int, int, int]] = None  # (count, start, end)
+
+    @staticmethod
+    def create(directory: str, dataset: Dataset, **lsm_options) -> "LSMTStore":
+        """Bulk-load a dataset as one sorted run."""
+        store = LSMTStore(directory, **lsm_options)
+        store._tree.bulk_load(
+            (encode_key(int(t), int(oid)), encode_value(float(x), float(y)))
+            for oid, t, x, y in zip(dataset.oids, dataset.ts, dataset.xs, dataset.ys)
+        )
+        store._bounds = (
+            dataset.num_points,
+            dataset.start_time,
+            dataset.end_time,
+        )
+        return store
+
+    def insert(self, oid: int, t: int, x: float, y: float) -> None:
+        self._tree.put(encode_key(t, oid), encode_value(x, y))
+        self._bounds = None  # invalidate cached bounds
+
+    # -- TrajectorySource ----------------------------------------------------
+
+    def _scan_bounds(self) -> Tuple[int, int, int]:
+        if self._bounds is None:
+            count, first, last = 0, None, None
+            for key, _ in self._tree.range(b"\x00" * 16, b"\xff" * 16):
+                if first is None:
+                    first = key
+                last = key
+                count += 1
+            if first is None:
+                raise ValueError("empty store")
+            self._bounds = (count, decode_key(first)[0], decode_key(last)[0])
+        return self._bounds
+
+    @property
+    def num_points(self) -> int:
+        return self._scan_bounds()[0]
+
+    @property
+    def start_time(self) -> int:
+        return self._scan_bounds()[1]
+
+    @property
+    def end_time(self) -> int:
+        return self._scan_bounds()[2]
+
+    def snapshot(self, t: int) -> Snapshot:
+        lo, hi = time_range_keys(t)
+        oids: List[int] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        for key, value in self._tree.range(lo, hi):
+            _, oid = decode_key(key)
+            x, y = decode_value(value)
+            oids.append(oid)
+            xs.append(x)
+            ys.append(y)
+        return (
+            np.asarray(oids, dtype=np.int64),
+            np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64),
+        )
+
+    def points_for(self, t: int, oids: Sequence[int]) -> Snapshot:
+        found: List[int] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        for oid in sorted(set(int(o) for o in oids)):
+            value = self._tree.get(encode_key(t, oid))
+            if value is not None:
+                x, y = decode_value(value)
+                found.append(oid)
+                xs.append(x)
+                ys.append(y)
+        return (
+            np.asarray(found, dtype=np.int64),
+            np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64),
+        )
+
+    def flush(self) -> None:
+        self._tree.flush()
+
+    def close(self) -> None:
+        self._tree.close()
+
+    def __enter__(self) -> "LSMTStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""In-memory store: a thin, counted adapter over :class:`Dataset`.
+
+Used as the no-I/O control in the storage benchmarks and everywhere a test
+needs a :class:`TrajectorySource` with access counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..data.dataset import Dataset
+from .interface import IOStats
+
+
+class MemoryStore:
+    """Wraps a dataset; counts logical accesses, performs no disk I/O."""
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+        self.stats = IOStats()
+
+    @property
+    def num_points(self) -> int:
+        return self._dataset.num_points
+
+    @property
+    def start_time(self) -> int:
+        return self._dataset.start_time
+
+    @property
+    def end_time(self) -> int:
+        return self._dataset.end_time
+
+    def snapshot(self, t: int):
+        self.stats.range_scans += 1
+        return self._dataset.snapshot(t)
+
+    def points_for(self, t: int, oids: Sequence[int]):
+        self.stats.point_queries += 1
+        return self._dataset.points_for(t, oids)
+
+    def close(self) -> None:  # symmetry with the disk stores
+        pass

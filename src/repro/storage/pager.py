@@ -1,0 +1,132 @@
+"""Page file and LRU buffer pool — the disk substrate of the B+tree store.
+
+Fixed 4 KiB pages, explicit seek accounting (a seek is counted whenever a
+physical read or write is not sequential to the previous access), and a
+pin-free LRU buffer pool (callers are single-threaded miners; eviction only
+needs dirty write-back).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Optional
+
+from .interface import IOStats
+
+PAGE_SIZE = 4096
+
+
+class Pager:
+    """Physical page I/O over a single file."""
+
+    def __init__(self, path: str, stats: Optional[IOStats] = None):
+        self.path = path
+        self.stats = stats if stats is not None else IOStats()
+        exists = os.path.exists(path)
+        self._file = open(path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE:
+            raise ValueError(f"{path} is not page-aligned ({size} bytes)")
+        self._num_pages = size // PAGE_SIZE
+        self._last_offset = -1  # for seek accounting
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def allocate(self) -> int:
+        """Append a zeroed page; returns its page number."""
+        page_no = self._num_pages
+        self._num_pages += 1
+        self._write(page_no, bytes(PAGE_SIZE))
+        return page_no
+
+    def read_page(self, page_no: int) -> bytearray:
+        if not 0 <= page_no < self._num_pages:
+            raise IndexError(f"page {page_no} out of range")
+        offset = page_no * PAGE_SIZE
+        if offset != self._last_offset:
+            self.stats.seeks += 1
+        self._file.seek(offset)
+        data = self._file.read(PAGE_SIZE)
+        self._last_offset = offset + PAGE_SIZE
+        self.stats.pages_read += 1
+        self.stats.bytes_read += PAGE_SIZE
+        return bytearray(data)
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        if not 0 <= page_no < self._num_pages:
+            raise IndexError(f"page {page_no} out of range")
+        self._write(page_no, data)
+
+    def _write(self, page_no: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
+        offset = page_no * PAGE_SIZE
+        if offset != self._last_offset:
+            self.stats.seeks += 1
+        self._file.seek(offset)
+        self._file.write(data)
+        self._last_offset = offset + PAGE_SIZE
+        self.stats.pages_written += 1
+        self.stats.bytes_written += PAGE_SIZE
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+
+
+class BufferPool:
+    """LRU page cache in front of a :class:`Pager`."""
+
+    def __init__(self, pager: Pager, capacity: int = 256):
+        if capacity < 4:
+            raise ValueError("buffer pool needs at least 4 pages")
+        self.pager = pager
+        self.capacity = capacity
+        self._pages: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: set = set()
+
+    def get(self, page_no: int) -> bytearray:
+        """Fetch a page, from cache if possible (moves it to MRU)."""
+        stats = self.pager.stats
+        if page_no in self._pages:
+            self._pages.move_to_end(page_no)
+            stats.buffer_hits += 1
+            return self._pages[page_no]
+        stats.buffer_misses += 1
+        data = self.pager.read_page(page_no)
+        self._insert(page_no, data)
+        return data
+
+    def allocate(self) -> int:
+        """Allocate a fresh page and cache it."""
+        page_no = self.pager.allocate()
+        self._insert(page_no, bytearray(PAGE_SIZE))
+        return page_no
+
+    def mark_dirty(self, page_no: int) -> None:
+        if page_no not in self._pages:
+            raise KeyError(f"page {page_no} not resident")
+        self._dirty.add(page_no)
+
+    def flush(self) -> None:
+        """Write every dirty page back (pages stay cached)."""
+        for page_no in sorted(self._dirty):
+            self.pager.write_page(page_no, bytes(self._pages[page_no]))
+        self._dirty.clear()
+
+    def _insert(self, page_no: int, data: bytearray) -> None:
+        self._pages[page_no] = data
+        self._pages.move_to_end(page_no)
+        while len(self._pages) > self.capacity:
+            victim, victim_data = self._pages.popitem(last=False)
+            if victim in self._dirty:
+                self.pager.write_page(victim, bytes(victim_data))
+                self._dirty.discard(victim)

@@ -1,0 +1,41 @@
+"""Shared fixtures: small deterministic workloads and stores."""
+
+import pytest
+
+from repro.core import ConvoyQuery
+from repro.data import Dataset, plant_convoys, random_walk_dataset
+
+
+@pytest.fixture(scope="session")
+def planted():
+    """Three well-separated planted convoys in light noise."""
+    return plant_convoys(
+        n_convoys=3,
+        convoy_size=4,
+        convoy_duration=20,
+        n_noise=20,
+        duration=60,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def planted_query(planted):
+    return ConvoyQuery(m=3, k=10, eps=planted.eps)
+
+
+@pytest.fixture()
+def tiny_dataset():
+    """Nine random walkers over 20 ticks — dense enough for convoys."""
+    return random_walk_dataset(
+        n_objects=9, duration=20, extent=50.0, step=8.0, seed=4
+    )
+
+
+def make_line_dataset(positions):
+    """Build a dataset from {t: {oid: (x, y)}} dictionaries (test helper)."""
+    records = []
+    for t, objects in positions.items():
+        for oid, (x, y) in objects.items():
+            records.append((oid, t, float(x), float(y)))
+    return Dataset.from_records(records)

@@ -1,0 +1,72 @@
+"""Benchmark points and hop windows: the Lemma 3 machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import benchmark_points, hop_windows
+from repro.core.bench_points import HopWindow
+
+
+class TestBenchmarkPoints:
+    def test_spacing(self):
+        assert benchmark_points(0, 16, 4) == [0, 4, 8, 12, 16]
+
+    def test_nonzero_start(self):
+        assert benchmark_points(5, 14, 3) == [5, 8, 11, 14]
+
+    def test_tail_shorter_than_hop(self):
+        assert benchmark_points(0, 10, 4) == [0, 4, 8]
+
+    def test_single_point(self):
+        assert benchmark_points(3, 3, 2) == [3]
+
+    def test_empty_range(self):
+        assert benchmark_points(5, 4, 2) == []
+
+    def test_bad_hop(self):
+        with pytest.raises(ValueError):
+            benchmark_points(0, 10, 0)
+
+    @given(
+        start=st.integers(0, 50),
+        length=st.integers(2, 200),
+        k=st.integers(2, 40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_lemma3_every_k_window_contains_two_consecutive_points(
+        self, start, length, k
+    ):
+        """Any k consecutive ticks within the dataset hold >= 2 consecutive
+        benchmark points (the pruning guarantee the whole algorithm rests on)."""
+        end = start + length - 1
+        hop = max(1, k // 2)
+        points = set(benchmark_points(start, end, hop))
+        if length < k:
+            return  # no convoy of length k fits at all
+        for window_start in range(start, end - k + 2):
+            window = set(range(window_start, window_start + k))
+            inside = sorted(points & window)
+            assert len(inside) >= 2, (window_start, k, hop)
+            # two *consecutive* benchmark points, not just any two
+            assert any(b + hop in points and b + hop in window for b in inside)
+
+
+class TestHopWindows:
+    def test_windows_between_points(self):
+        windows = hop_windows([0, 4, 8])
+        assert windows == [HopWindow(0, 4), HopWindow(4, 8)]
+
+    def test_interior_excludes_borders(self):
+        window = HopWindow(4, 8)
+        assert list(window.interior) == [5, 6, 7]
+
+    def test_adjacent_points_have_empty_interior(self):
+        assert list(HopWindow(3, 4).interior) == []
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ValueError):
+            HopWindow(4, 4)
+
+    def test_no_windows_for_single_point(self):
+        assert hop_windows([7]) == []

@@ -1,0 +1,57 @@
+"""Candidate-cluster intersection: the Lemma 5 pruning step."""
+
+import pytest
+
+from repro.core.candidates import cluster_benchmark_point, intersect_cluster_sets
+from repro.core import ConvoyQuery, MiningStats
+from repro.data import plant_convoys
+
+
+class TestIntersectClusterSets:
+    def test_paper_example_section_4_2(self):
+        """The worked example from §4.2 of the paper."""
+        c1 = [frozenset("abcd"), frozenset("efgh"), frozenset("ijk")]
+        c2 = [frozenset("abc"), frozenset("de"), frozenset("fgh"), frozenset("ij")]
+        result = intersect_cluster_sets(c1, c2, m=3)
+        assert set(result) == {frozenset("abc"), frozenset("fgh")}
+
+    def test_empty_inputs(self):
+        assert intersect_cluster_sets([], [frozenset({1, 2})], 2) == []
+        assert intersect_cluster_sets([frozenset({1, 2})], [], 2) == []
+
+    def test_m_filter(self):
+        left = [frozenset({1, 2, 3})]
+        right = [frozenset({1, 2, 9})]
+        assert intersect_cluster_sets(left, right, 3) == []
+        assert intersect_cluster_sets(left, right, 2) == [frozenset({1, 2})]
+
+    def test_multiple_overlaps_from_one_cluster(self):
+        left = [frozenset({1, 2, 3, 4, 5, 6})]
+        right = [frozenset({1, 2, 3}), frozenset({4, 5, 6})]
+        result = intersect_cluster_sets(left, right, 3)
+        assert set(result) == {frozenset({1, 2, 3}), frozenset({4, 5, 6})}
+
+    def test_result_sorted_by_min_member(self):
+        left = [frozenset({7, 8}), frozenset({1, 2})]
+        right = [frozenset({7, 8}), frozenset({1, 2})]
+        result = intersect_cluster_sets(left, right, 2)
+        assert result == [frozenset({1, 2}), frozenset({7, 8})]
+
+
+class TestClusterBenchmarkPoint:
+    def test_counts_points_processed(self, planted, planted_query):
+        stats = MiningStats(total_points=planted.dataset.num_points)
+        t = planted.dataset.start_time
+        cluster_benchmark_point(planted.dataset, t, planted_query, stats)
+        oids, _, _ = planted.dataset.snapshot(t)
+        assert stats.points_processed_by_phase["benchmark_clustering"] == len(oids)
+
+    def test_lemma4_convoy_objects_inside_one_benchmark_cluster(self, planted, planted_query):
+        """Every planted convoy crossing a benchmark point must sit inside
+        one benchmark cluster there (Lemma 4)."""
+        for convoy in planted.convoys:
+            for t in convoy.interval:
+                clusters = cluster_benchmark_point(
+                    planted.dataset, t, planted_query
+                )
+                assert any(convoy.objects <= c for c in clusters), (convoy, t)

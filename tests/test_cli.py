@@ -1,0 +1,68 @@
+"""Command-line interface round-trips."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import load_csv
+
+
+@pytest.fixture()
+def planted_csv(tmp_path, capsys):
+    path = str(tmp_path / "planted.csv")
+    assert main(["generate", "--kind", "planted", "--out", path, "--seed", "3",
+                 "--scale", "0.5"]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["planted", "trucks"])
+    def test_writes_loadable_csv(self, tmp_path, kind, capsys):
+        path = str(tmp_path / f"{kind}.csv")
+        assert main(["generate", "--kind", kind, "--out", path, "--scale", "0.3"]) == 0
+        dataset = load_csv(path)
+        assert dataset.num_points > 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_brinkhoff_scale(self, tmp_path, capsys):
+        path = str(tmp_path / "b.csv")
+        assert main(["generate", "--kind", "brinkhoff", "--out", path,
+                     "--scale", "0.2"]) == 0
+        assert load_csv(path).num_points > 0
+
+
+class TestMine:
+    def test_mine_memory(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0"]) == 0
+        out = capsys.readouterr().out
+        assert "convoy(s) found" in out
+
+    @pytest.mark.parametrize("store", ["file", "rdbms", "lsmt"])
+    def test_mine_stores_agree(self, planted_csv, store, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0", "--store", store]) == 0
+        with_store = capsys.readouterr().out
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0"]) == 0
+        with_memory = capsys.readouterr().out
+        assert with_store.splitlines()[:-1] == with_memory.splitlines()[:-1]
+
+    def test_stats_flag(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10", "--eps", "10.0",
+                     "--stats", "--store", "lsmt"]) == 0
+        out = capsys.readouterr().out
+        assert "pruning" in out and "store I/O" in out
+
+
+class TestInfo:
+    def test_info_summarises(self, planted_csv, capsys):
+        assert main(["info", planted_csv]) == 0
+        out = capsys.readouterr().out
+        assert "points" in out and "time range" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

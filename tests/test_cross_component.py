@@ -1,0 +1,120 @@
+"""Cross-component property tests: the whole stack, randomized.
+
+Each test wires several subsystems together and checks an end-to-end
+invariant that no single-module test can see.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import mine_pccd, mine_vcoda_star
+from repro.core import ConvoyQuery, K2Hop
+from repro.data import Dataset, interpolate_dataset, random_walk_dataset
+from repro.storage import LSMTStore, RelationalStore
+
+
+class TestStoreMiningEquivalence:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_rdbms_store_mining_matches_memory(self, tmp_path_factory, seed):
+        ds = random_walk_dataset(
+            n_objects=8, duration=16, extent=45.0, step=8.0, seed=seed
+        )
+        query = ConvoyQuery(m=3, k=4, eps=12.0)
+        expected = K2Hop(query).mine(ds).convoys
+        path = tmp_path_factory.mktemp("x") / "s.db"
+        store = RelationalStore.create(str(path), ds)
+        try:
+            assert K2Hop(query).mine(store).convoys == expected
+        finally:
+            store.close()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_lsmt_store_mining_matches_memory(self, tmp_path_factory, seed):
+        ds = random_walk_dataset(
+            n_objects=8, duration=16, extent=45.0, step=8.0, seed=seed
+        )
+        query = ConvoyQuery(m=3, k=4, eps=12.0)
+        expected = K2Hop(query).mine(ds).convoys
+        directory = tmp_path_factory.mktemp("y") / "lsm"
+        store = LSMTStore.create(str(directory), ds)
+        try:
+            assert K2Hop(query).mine(store).convoys == expected
+        finally:
+            store.close()
+
+
+class TestLemmaOneEndToEnd:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_fc_convoy_within_a_pc_convoy(self, seed):
+        """Lemma 1 across independent implementations."""
+        ds = random_walk_dataset(
+            n_objects=9, duration=18, extent=50.0, step=8.0, seed=seed
+        )
+        query = ConvoyQuery(m=3, k=4, eps=13.0)
+        fc = mine_vcoda_star(ds, query)
+        pc = mine_pccd(ds, query)
+        for convoy in fc:
+            assert any(convoy.is_subconvoy_of(p) for p in pc)
+
+
+class TestLemmaTwoEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_subsets_of_pc_convoys_are_convoys(self, seed):
+        """Lemma 2: any (O', T') inside a convoy is a convoy."""
+        from repro.clustering import cluster_snapshot
+
+        ds = random_walk_dataset(
+            n_objects=8, duration=14, extent=45.0, step=8.0, seed=seed
+        )
+        query = ConvoyQuery(m=2, k=3, eps=12.0)
+        rng = np.random.default_rng(seed)
+        for convoy in mine_pccd(ds, query)[:5]:
+            members = sorted(convoy.objects)
+            if len(members) <= query.m:
+                continue
+            subset = rng.choice(members, size=query.m, replace=False).tolist()
+            for t in convoy.interval:
+                oids, xs, ys = ds.snapshot(t)
+                clusters = cluster_snapshot(oids, xs, ys, query.eps, query.m)
+                assert any(set(subset) <= c for c in clusters)
+
+
+class TestInterpolationPreservesConvoys:
+    def test_subsampled_then_interpolated_keeps_planted_convoy(self):
+        """The T-Drive preprocessing pipeline must not destroy convoys whose
+        members are sampled at the same ticks."""
+        from repro.data import plant_convoys
+
+        workload = plant_convoys(
+            n_convoys=1, convoy_size=4, convoy_duration=30, n_noise=5,
+            duration=60, seed=3, jitter=1.0,
+        )
+        ds = workload.dataset
+        # Drop every second tick for everyone, then interpolate back.
+        keep = (ds.ts % 2 == 0)
+        sampled = Dataset(
+            ds.oids[keep], ds.ts[keep], ds.xs[keep], ds.ys[keep], presorted=True
+        )
+        restored = interpolate_dataset(sampled)
+        query = ConvoyQuery(m=3, k=20, eps=workload.eps)
+        mined = K2Hop(query).mine(restored).convoys
+        truth = workload.convoys[0]
+        assert any(
+            truth.objects <= c.objects for c in mined
+        ), "interpolation broke the planted convoy"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mining_is_deterministic(self, seed):
+        ds = random_walk_dataset(
+            n_objects=9, duration=18, extent=50.0, step=8.0, seed=seed
+        )
+        query = ConvoyQuery(m=3, k=4, eps=13.0)
+        first = K2Hop(query).mine(ds).convoys
+        second = K2Hop(query).mine(ds).convoys
+        assert first == second  # ordered equality, not just set equality

@@ -1,0 +1,106 @@
+"""Douglas-Peucker and the CuTS filter-and-refine family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CuTSConfig, douglas_peucker, mine_cuts, mine_vcoda_star
+from repro.baselines.douglas_peucker import (
+    _point_segment_distances,
+    simplify_trajectory,
+)
+from repro.core import ConvoyQuery
+from repro.data import plant_convoys
+
+
+class TestDouglasPeucker:
+    def test_straight_line_reduces_to_endpoints(self):
+        points = np.column_stack([np.arange(10.0), np.zeros(10)])
+        kept = douglas_peucker(points, tolerance=0.01)
+        assert kept.tolist() == [0, 9]
+
+    def test_corner_is_kept(self):
+        points = np.array([[0.0, 0.0], [5.0, 0.0], [5.0, 5.0]])
+        kept = douglas_peucker(points, tolerance=0.5)
+        assert kept.tolist() == [0, 1, 2]
+
+    def test_two_points_trivial(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert douglas_peucker(points, 10.0).tolist() == [0, 1]
+
+    @given(
+        seed=st.integers(0, 1000),
+        tolerance=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_error_bound(self, seed, tolerance):
+        """Every dropped point lies within tolerance of the kept polyline."""
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 50, size=(30, 2)).cumsum(axis=0) / 5.0
+        kept = douglas_peucker(points, tolerance)
+        kept_points = points[kept]
+        for i, point in enumerate(points):
+            distances = []
+            for a, b in zip(kept_points[:-1], kept_points[1:]):
+                distances.append(
+                    _point_segment_distances(point[None, :], a, b)[0]
+                )
+            assert min(distances) <= tolerance + 1e-9
+
+    def test_simplify_trajectory_aligns_timestamps(self):
+        ts = np.arange(5)
+        xs = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        ys = np.zeros(5)
+        sts, sxs, sys = simplify_trajectory(ts, xs, ys, 0.1)
+        assert sts.tolist() == [0, 4]
+        assert sxs.tolist() == [0.0, 4.0]
+
+
+class TestCuTS:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return plant_convoys(
+            n_convoys=2, convoy_size=4, convoy_duration=20, n_noise=25,
+            duration=50, seed=6,
+        )
+
+    @pytest.mark.parametrize("variant", ["cuts", "cuts+", "cuts*"])
+    def test_recovers_planted_convoys(self, workload, variant):
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        config = CuTSConfig(delta=1.0, variant=variant)
+        mined = mine_cuts(workload.dataset, query, config)
+        for truth in workload.convoys:
+            assert any(
+                truth.objects <= found.objects
+                and found.interval.contains_interval(truth.interval)
+                for found in mined
+            )
+
+    def test_matches_vcoda_star_on_planted_data(self, workload):
+        """On well-separated data the filter is lossless, so the refined,
+        validated output equals the exact miner's."""
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        cuts = set(mine_cuts(workload.dataset, query, CuTSConfig(delta=1.0)))
+        exact = set(mine_vcoda_star(workload.dataset, query))
+        assert cuts == exact
+
+    def test_unvalidated_variant_returns_partially_connected(self, workload):
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        config = CuTSConfig(delta=1.0, fully_connected=False)
+        mined = mine_cuts(workload.dataset, query, config)
+        assert mined  # finds the planted convoys without validation too
+
+    def test_lam_validation(self, workload):
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        with pytest.raises(ValueError):
+            mine_cuts(workload.dataset, query, CuTSConfig(lam=1))
+
+    def test_filter_reduces_objects(self, workload):
+        from repro.baselines.cuts import _filter_phase
+
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        reduced = _filter_phase(workload.dataset, query, CuTSConfig(delta=1.0), lam=5)
+        assert reduced.num_objects < workload.dataset.num_objects
+        planted_members = set().union(*(c.objects for c in workload.convoys))
+        assert planted_members <= set(reduced.objects().tolist())

@@ -1,0 +1,150 @@
+"""Cluster simulator, MapReduce engine, DCM, SPARE."""
+
+import pytest
+
+from repro.baselines import mine_pccd
+from repro.core import ConvoyQuery
+from repro.data import plant_convoys, random_walk_dataset
+from repro.distributed import (
+    ClusterSpec,
+    JobReport,
+    StageReport,
+    makespan,
+    mine_dcm,
+    mine_spare,
+    run_mapreduce,
+)
+
+
+class TestMakespan:
+    def test_single_worker_is_sum(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_infinite_workers_is_max(self):
+        assert makespan([1.0, 2.0, 3.0], 100) == pytest.approx(3.0)
+
+    def test_monotone_in_workers(self):
+        durations = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        times = [makespan(durations, p) for p in range(1, 9)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_lower_bounds_hold(self):
+        durations = [3.0, 1.0, 4.0, 1.0, 5.0]
+        for workers in (1, 2, 3):
+            result = makespan(durations, workers)
+            assert result >= max(durations)
+            assert result >= sum(durations) / workers
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+
+class TestClusterSpec:
+    def test_presets(self):
+        assert ClusterSpec.local(4).workers == 4
+        assert ClusterSpec.yarn(8).job_overhead_s > ClusterSpec.local(8).job_overhead_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(workers=0)
+
+    def test_stage_and_job_simulation(self):
+        stage = StageReport("map", task_durations=[1.0, 1.0], shuffle_bytes=100_000_000)
+        spec = ClusterSpec(workers=2, task_overhead_s=0.0, shuffle_bandwidth=100e6)
+        assert stage.simulated_seconds(spec) == pytest.approx(2.0)
+        job = JobReport(stages=[stage])
+        spec2 = ClusterSpec(workers=2, job_overhead_s=5.0, shuffle_bandwidth=100e6)
+        assert job.simulated_seconds(spec2) == pytest.approx(7.0)
+
+
+class TestMapReduce:
+    def test_word_count(self):
+        documents = [(0, "a b a"), (1, "b c")]
+
+        def mapper(_key, text):
+            for word in text.split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield word, sum(counts)
+
+        outputs, report = run_mapreduce(documents, mapper, reducer)
+        assert dict(outputs) == {"a": 2, "b": 2, "c": 1}
+        assert len(report.stages) == 2
+        assert len(report.stages[0].task_durations) == 2  # one per document
+        assert report.stages[0].shuffle_bytes > 0
+
+    def test_simulated_time_decreases_with_workers(self):
+        import time
+
+        def mapper(key, _value):
+            time.sleep(0.002)
+            yield key % 2, key
+
+        def reducer(key, values):
+            yield key, sorted(values)
+
+        _, report = run_mapreduce([(i, None) for i in range(8)], mapper, reducer)
+        one = report.simulated_seconds(ClusterSpec(workers=1))
+        four = report.simulated_seconds(ClusterSpec(workers=4))
+        assert four < one
+
+
+class TestDCM:
+    @pytest.mark.parametrize("n_partitions", [1, 2, 3, 5])
+    def test_matches_pccd(self, n_partitions):
+        ds = random_walk_dataset(n_objects=9, duration=21, extent=50.0, step=8.0, seed=3)
+        query = ConvoyQuery(m=3, k=5, eps=14.0)
+        result = mine_dcm(ds, query, n_partitions=n_partitions)
+        assert set(result.convoys) == set(mine_pccd(ds, query))
+
+    def test_convoy_spanning_partition_boundary(self):
+        workload = plant_convoys(
+            n_convoys=1, convoy_size=3, convoy_duration=30, n_noise=6,
+            duration=40, seed=8,
+        )
+        query = ConvoyQuery(m=3, k=20, eps=workload.eps)
+        result = mine_dcm(workload.dataset, query, n_partitions=4)
+        truth = workload.convoys[0]
+        assert any(
+            truth.objects <= c.objects and c.interval.contains_interval(truth.interval)
+            for c in result.convoys
+        )
+
+    def test_partition_validation(self):
+        ds = random_walk_dataset(n_objects=4, duration=5, seed=0)
+        with pytest.raises(ValueError):
+            mine_dcm(ds, ConvoyQuery(m=2, k=2, eps=5.0), n_partitions=0)
+
+    def test_simulated_scaling(self):
+        ds = random_walk_dataset(n_objects=10, duration=30, extent=60.0, step=8.0, seed=5)
+        query = ConvoyQuery(m=3, k=5, eps=14.0)
+        result = mine_dcm(ds, query, n_partitions=4)
+        t1 = result.simulated_seconds(ClusterSpec.yarn(1))
+        t4 = result.simulated_seconds(ClusterSpec.yarn(4))
+        assert t4 <= t1
+
+
+class TestSPARE:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_pccd(self, seed):
+        ds = random_walk_dataset(n_objects=9, duration=18, extent=50.0, step=8.0, seed=seed)
+        query = ConvoyQuery(m=3, k=5, eps=14.0)
+        result = mine_spare(ds, query)
+        assert set(result.convoys) == set(mine_pccd(ds, query))
+
+    def test_two_job_pipeline_reported(self):
+        ds = random_walk_dataset(n_objects=6, duration=10, seed=1)
+        query = ConvoyQuery(m=2, k=3, eps=10.0)
+        result = mine_spare(ds, query)
+        assert result.clustering_report.stages
+        assert result.mining_report.stages
+        total = result.simulated_seconds(ClusterSpec.local(2))
+        assert total > 0
+
+    def test_clustering_stage_has_one_reduce_task_per_timestamp(self):
+        ds = random_walk_dataset(n_objects=6, duration=12, seed=2)
+        query = ConvoyQuery(m=2, k=3, eps=10.0)
+        result = mine_spare(ds, query)
+        reduce_stage = result.clustering_report.stages[1]
+        assert len(reduce_stage.task_durations) == 12

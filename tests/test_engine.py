@@ -1,0 +1,118 @@
+"""ConvoyEngine facade: registry, storage advice, algorithm dispatch."""
+
+import pytest
+
+from repro.core.engine import ConvoyEngine, advise_store
+from repro.data import plant_convoys
+
+
+@pytest.fixture()
+def engine(planted):
+    with ConvoyEngine() as e:
+        e.register("planted", planted.dataset)
+        yield e
+
+
+class TestAdviseStore:
+    def test_small_in_memory(self):
+        assert advise_store(10_000) == "memory"
+
+    def test_medium_rdbms(self):
+        assert advise_store(500_000) == "rdbms"
+
+    def test_large_lsmt(self):
+        assert advise_store(50_000_000) == "lsmt"
+
+
+class TestRegistry:
+    def test_register_and_list(self, engine, planted):
+        assert engine.datasets == ["planted"]
+        assert engine.dataset("planted") is planted.dataset
+
+    def test_duplicate_rejected(self, engine, planted):
+        with pytest.raises(ValueError):
+            engine.register("planted", planted.dataset)
+
+    def test_unknown_dataset(self, engine):
+        with pytest.raises(KeyError):
+            engine.dataset("nope")
+
+
+class TestMine:
+    def test_default_k2hop(self, engine, planted, planted_query):
+        result = engine.mine(
+            "planted", planted_query.m, planted_query.k, planted_query.eps
+        )
+        assert result.stats.pruning_ratio > 0
+        for truth in planted.convoys:
+            assert any(
+                truth.objects <= c.objects
+                and c.interval.contains_interval(truth.interval)
+                for c in result.convoys
+            )
+
+    @pytest.mark.parametrize("algorithm", ["vcoda*", "pccd", "cmc", "vcoda"])
+    def test_other_algorithms_dispatch(self, engine, planted_query, algorithm):
+        result = engine.mine(
+            "planted", planted_query.m, planted_query.k, planted_query.eps,
+            algorithm=algorithm,
+        )
+        assert result.stats.convoy_count == len(result.convoys)
+
+    def test_unknown_algorithm(self, engine, planted_query):
+        with pytest.raises(ValueError):
+            engine.mine("planted", 3, 10, 1.0, algorithm="quantum")
+
+    @pytest.mark.parametrize("store", ["memory", "file", "rdbms", "lsmt"])
+    def test_explicit_stores_agree(self, engine, planted_query, store):
+        reference = engine.mine(
+            "planted", planted_query.m, planted_query.k, planted_query.eps
+        )
+        result = engine.mine(
+            "planted", planted_query.m, planted_query.k, planted_query.eps,
+            store=store,
+        )
+        assert result.convoys == reference.convoys
+
+    def test_store_cached(self, engine):
+        first = engine.open_store("planted", "rdbms")
+        second = engine.open_store("planted", "rdbms")
+        assert first is second
+
+    def test_unknown_store(self, engine):
+        with pytest.raises(ValueError):
+            engine.open_store("planted", "papyrus")
+
+
+class TestCompare:
+    def test_compare_checks_exactness(self, engine, planted_query):
+        rows = engine.compare(
+            "planted", planted_query.m, planted_query.k, planted_query.eps
+        )
+        assert [r.algorithm for r in rows] == ["k2hop", "vcoda*", "pccd"]
+        assert all(r.seconds >= 0 for r in rows)
+        k2 = next(r for r in rows if r.algorithm == "k2hop")
+        pccd = next(r for r in rows if r.algorithm == "pccd")
+        # Every FC convoy is covered by a PC convoy (Lemma 1).
+        for convoy in k2.convoys:
+            assert any(convoy.is_subconvoy_of(pc) for pc in pccd.convoys)
+
+
+class TestLifecycle:
+    def test_close_removes_workdir(self, planted):
+        engine = ConvoyEngine()
+        engine.register("w", planted.dataset)
+        engine.open_store("w", "rdbms")
+        workdir = engine._workdir
+        import os
+
+        assert os.path.exists(workdir)
+        engine.close()
+        assert not os.path.exists(workdir)
+
+    def test_external_workdir_preserved(self, tmp_path, planted):
+        engine = ConvoyEngine(workdir=str(tmp_path))
+        engine.register("w", planted.dataset)
+        engine.open_store("w", "rdbms")
+        engine.close()
+        assert tmp_path.exists()

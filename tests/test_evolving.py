@@ -1,0 +1,101 @@
+"""Evolving convoys: stage chaining, permanent members, degeneration."""
+
+import pytest
+
+from repro.baselines import mine_pccd
+from repro.core import ConvoyQuery
+from repro.core.types import Convoy
+from repro.data import random_walk_dataset
+from repro.extensions import EvolvingConvoy, mine_evolving_convoys
+from tests.conftest import make_line_dataset
+
+
+def _handover_dataset():
+    """Objects 1-4 convoy over [0,10]; object 1 leaves and 5 joins, and
+    2-5 continue over [8,20] — a two-stage evolving convoy."""
+    positions = {}
+    for t in range(21):
+        snap = {}
+        first = t <= 10
+        second = t >= 8
+        for oid in (2, 3, 4):
+            snap[oid] = (oid * 1.0, 0.0)
+        snap[1] = (0.0, 0.0) if first else (900.0, 900.0)
+        snap[5] = (5.0, 0.0) if second else (700.0, 700.0)
+        positions[t] = snap
+    return make_line_dataset(positions)
+
+
+class TestEvolvingConvoyType:
+    def test_requires_stage(self):
+        with pytest.raises(ValueError):
+            EvolvingConvoy(())
+
+    def test_membership_properties(self):
+        ec = EvolvingConvoy(
+            (Convoy.of([1, 2, 3], 0, 9), Convoy.of([2, 3, 4], 8, 19))
+        )
+        assert ec.permanent_members == frozenset({2, 3})
+        assert ec.all_members == frozenset({1, 2, 3, 4})
+        assert ec.start == 0 and ec.end == 19
+
+    def test_commitment_ratios(self):
+        ec = EvolvingConvoy(
+            (Convoy.of([1, 2], 0, 9), Convoy.of([2, 3], 10, 19))
+        )
+        ratios = ec.commitment()
+        assert ratios[2] == pytest.approx(1.0)
+        assert ratios[1] == pytest.approx(0.5)
+        assert ratios[3] == pytest.approx(0.5)
+
+
+class TestMining:
+    def test_handover_chain_found(self):
+        ds = _handover_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=2.0)
+        result = mine_evolving_convoys(ds, query)
+        best = max(result, key=lambda ec: ec.duration)
+        assert best.duration == 21  # spans [0, 20] across the handover
+        assert len(best.stages) >= 2
+        assert {2, 3, 4} <= set(best.permanent_members)
+        assert 1 in best.all_members and 5 in best.all_members
+
+    def test_degenerates_to_convoys_without_handover(self):
+        # A single stable group: exactly one single-stage evolving convoy.
+        positions = {t: {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)} for t in range(8)}
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=4, eps=2.0)
+        result = mine_evolving_convoys(ds, query)
+        assert len(result) == 1
+        assert len(result[0].stages) == 1
+        assert result[0].stages[0] == Convoy.of([0, 1, 2], 0, 7)
+
+    def test_every_stage_is_a_pccd_convoy(self):
+        ds = random_walk_dataset(n_objects=9, duration=18, extent=50.0, step=8.0, seed=3)
+        query = ConvoyQuery(m=3, k=4, eps=13.0)
+        stages = set(mine_pccd(ds, query))
+        for ec in mine_evolving_convoys(ds, query):
+            for stage in ec.stages:
+                assert stage in stages
+
+    def test_chains_are_temporally_consistent(self):
+        ds = random_walk_dataset(n_objects=9, duration=18, extent=50.0, step=8.0, seed=5)
+        query = ConvoyQuery(m=3, k=4, eps=13.0)
+        for ec in mine_evolving_convoys(ds, query):
+            for a, b in zip(ec.stages, ec.stages[1:]):
+                assert b.start > a.start
+                assert b.start <= a.end + 1  # no coverage gap
+                assert b.end > a.end
+                assert len(a.objects & b.objects) >= query.m
+
+    def test_min_common_threshold(self):
+        ds = _handover_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=2.0)
+        # Demand more common members than the handover provides: no chain.
+        strict = mine_evolving_convoys(ds, query, min_common=4)
+        assert all(len(ec.stages) == 1 for ec in strict)
+
+    def test_empty_data(self):
+        ds = random_walk_dataset(n_objects=3, duration=4, extent=500.0, step=1.0, seed=0)
+        query = ConvoyQuery(m=3, k=4, eps=0.5)
+        assert mine_evolving_convoys(ds, query) == []

@@ -1,0 +1,93 @@
+"""Extension phase: exact lifespans, splits, and the deferred k filter."""
+
+from repro.core import ConvoyQuery
+from repro.core.extend import extend_left, extend_right
+from repro.core.types import Convoy
+from tests.conftest import make_line_dataset
+
+
+def _together(*oids):
+    return {oid: (oid * 0.5, 0.0) for oid in oids}
+
+
+def _apart(*oids):
+    return {oid: (oid * 500.0, oid * 300.0) for oid in oids}
+
+
+def _dataset(timeline):
+    """timeline: list of (tick, together_oids, apart_oids)."""
+    positions = {}
+    for t, together, apart in timeline:
+        snap = {}
+        snap.update(_together(*together))
+        snap.update(_apart(*apart))
+        positions[t] = snap
+    return make_line_dataset(positions)
+
+
+class TestExtendRight:
+    def test_extends_to_true_end(self):
+        dataset = _dataset(
+            [(t, (0, 1, 2), ()) for t in range(0, 7)] + [(7, (), (0, 1, 2))]
+        )
+        query = ConvoyQuery(m=3, k=4, eps=2.0)
+        result = extend_right(dataset, [Convoy.of([0, 1, 2], 0, 4)], query)
+        assert result == [Convoy.of([0, 1, 2], 0, 6)]
+
+    def test_stops_at_dataset_end(self):
+        dataset = _dataset([(t, (0, 1, 2), ()) for t in range(0, 5)])
+        query = ConvoyQuery(m=3, k=4, eps=2.0)
+        result = extend_right(dataset, [Convoy.of([0, 1, 2], 0, 4)], query)
+        assert result == [Convoy.of([0, 1, 2], 0, 4)]
+
+    def test_split_produces_both_closures(self):
+        # 0,1,2,3 together through tick 4; from tick 5 only 0,1,2 remain.
+        timeline = [(t, (0, 1, 2, 3), ()) for t in range(5)]
+        timeline += [(t, (0, 1, 2), (3,)) for t in range(5, 9)]
+        timeline += [(9, (), (0, 1, 2, 3))]
+        dataset = _dataset(timeline)
+        query = ConvoyQuery(m=3, k=4, eps=2.0)
+        result = set(extend_right(dataset, [Convoy.of([0, 1, 2, 3], 0, 4)], query))
+        assert result == {
+            Convoy.of([0, 1, 2, 3], 0, 4),
+            Convoy.of([0, 1, 2], 0, 8),
+        }
+
+    def test_short_convoy_not_dropped(self):
+        """No k filter on the right: it might still grow left."""
+        dataset = _dataset([(t, (0, 1), ()) for t in range(3)])
+        query = ConvoyQuery(m=2, k=10, eps=2.0)
+        result = extend_right(dataset, [Convoy.of([0, 1], 0, 2)], query)
+        assert result == [Convoy.of([0, 1], 0, 2)]
+
+
+class TestExtendLeft:
+    def test_extends_to_true_start(self):
+        dataset = _dataset(
+            [(0, (), (0, 1, 2))] + [(t, (0, 1, 2), ()) for t in range(1, 8)]
+        )
+        query = ConvoyQuery(m=3, k=4, eps=2.0)
+        result = extend_left(dataset, [Convoy.of([0, 1, 2], 4, 7)], query)
+        assert result == [Convoy.of([0, 1, 2], 1, 7)]
+
+    def test_k_filter_applied_after_left_extension(self):
+        dataset = _dataset([(t, (0, 1), ()) for t in range(4)])
+        query = ConvoyQuery(m=2, k=10, eps=2.0)
+        assert extend_left(dataset, [Convoy.of([0, 1], 0, 3)], query) == []
+
+    def test_k_reached_only_with_left_growth(self):
+        dataset = _dataset([(t, (0, 1), ()) for t in range(10)])
+        query = ConvoyQuery(m=2, k=10, eps=2.0)
+        # Candidate covers [6,9]; the left extension must stretch it to [0,9].
+        result = extend_left(dataset, [Convoy.of([0, 1], 6, 9)], query)
+        assert result == [Convoy.of([0, 1], 0, 9)]
+
+    def test_duplicate_closures_deduplicated(self):
+        dataset = _dataset([(t, (0, 1, 2), ()) for t in range(6)])
+        query = ConvoyQuery(m=3, k=3, eps=2.0)
+        result = extend_left(
+            dataset,
+            [Convoy.of([0, 1, 2], 2, 5), Convoy.of([0, 1, 2], 3, 5)],
+            query,
+        )
+        assert result == [Convoy.of([0, 1, 2], 0, 5)]

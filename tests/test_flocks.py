@@ -1,0 +1,107 @@
+"""Flock mining: disk discovery and the exact k/2-hop acceleration."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvoyQuery
+from repro.data import plant_convoys, random_walk_dataset
+from repro.extensions import disks_at, mine_flocks, mine_flocks_k2
+from tests.conftest import make_line_dataset
+
+
+class TestDisksAt:
+    def test_tight_group_found(self):
+        xs = np.array([0.0, 1.0, 0.5])
+        ys = np.array([0.0, 0.0, 0.8])
+        groups = disks_at([1, 2, 3], xs, ys, radius=1.0, m=3)
+        assert frozenset({1, 2, 3}) in groups
+
+    def test_spread_group_not_coverable(self):
+        # Chain of points pairwise close but not coverable by one disk.
+        xs = np.array([0.0, 1.8, 3.6, 5.4])
+        ys = np.zeros(4)
+        groups = disks_at([0, 1, 2, 3], xs, ys, radius=1.0, m=4)
+        assert groups == []
+
+    def test_diameter_boundary(self):
+        # Two points exactly 2r apart fit one disk; 2r+ do not (with m=2).
+        xs = np.array([0.0, 2.0])
+        ys = np.zeros(2)
+        assert disks_at([0, 1], xs, ys, radius=1.0, m=2)
+        xs_far = np.array([0.0, 2.2])
+        assert disks_at([0, 1], xs_far, ys, radius=1.0, m=2) == []
+
+    def test_groups_are_maximal(self):
+        xs = np.array([0.0, 0.5, 1.0, 10.0])
+        ys = np.zeros(4)
+        groups = disks_at([0, 1, 2, 3], xs, ys, radius=1.0, m=2)
+        for group in groups:
+            assert not any(group < other for other in groups)
+
+    def test_fewer_than_m_points(self):
+        assert disks_at([1], np.array([0.0]), np.array([0.0]), 1.0, 2) == []
+
+
+class TestMineFlocks:
+    def test_planted_groups_found_as_flocks(self):
+        # Planted convoys are tight groups -> they are flocks too.
+        workload = plant_convoys(
+            n_convoys=2, convoy_size=4, convoy_duration=15, n_noise=10,
+            duration=40, seed=4, jitter=1.5, eps=10.0,
+        )
+        query = ConvoyQuery(m=3, k=10, eps=6.0)  # eps = disk radius here
+        flocks = mine_flocks(workload.dataset, query)
+        for truth in workload.convoys:
+            assert any(
+                truth.objects <= f.objects
+                and f.interval.contains_interval(truth.interval)
+                for f in flocks
+            )
+
+    def test_flock_stricter_than_convoy(self):
+        """A density-connected chain longer than the disk is a convoy but
+        not a flock — the paper's §2 motivating distinction."""
+        positions = {
+            t: {i: (i * 1.5, 0.0) for i in range(5)} for t in range(6)
+        }
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=4, eps=2.0)
+        from repro.core import K2Hop
+
+        convoys = K2Hop(query).mine(ds).convoys
+        assert any(c.size == 5 for c in convoys)  # whole chain is a convoy
+        flocks = mine_flocks(ds, query)  # eps read as disk radius 2.0
+        assert flocks  # sub-groups that fit a disk are flocks ...
+        assert all(f.size < 5 for f in flocks)  # ... the full chain is not
+
+
+class TestMineFlocksK2:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exactness_vs_baseline(self, seed):
+        ds = random_walk_dataset(n_objects=8, duration=16, extent=45.0, step=7.0, seed=seed)
+        query = ConvoyQuery(m=3, k=4, eps=10.0)
+        assert set(mine_flocks_k2(ds, query)) == set(mine_flocks(ds, query))
+
+    @pytest.mark.parametrize("k", [2, 3, 6, 9])
+    def test_exactness_across_k(self, k):
+        ds = random_walk_dataset(n_objects=7, duration=15, extent=40.0, step=6.0, seed=11)
+        query = ConvoyQuery(m=2, k=k, eps=9.0)
+        assert set(mine_flocks_k2(ds, query)) == set(mine_flocks(ds, query))
+
+    def test_k1_fallback(self):
+        ds = random_walk_dataset(n_objects=6, duration=6, seed=1)
+        query = ConvoyQuery(m=2, k=1, eps=10.0)
+        assert set(mine_flocks_k2(ds, query)) == set(mine_flocks(ds, query))
+
+    def test_prunes_flockless_data(self):
+        # Far-apart walkers: phase 1 must find no candidates at all.
+        from repro.data import Dataset
+
+        records = [
+            (oid, t, oid * 10_000.0, t * 1.0)
+            for oid in range(5)
+            for t in range(20)
+        ]
+        ds = Dataset.from_records(records)
+        query = ConvoyQuery(m=2, k=8, eps=50.0)
+        assert mine_flocks_k2(ds, query) == []

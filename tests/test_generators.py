@@ -1,0 +1,200 @@
+"""Data generators: ground truth, network constraints, sampling pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvoyQuery, K2Hop
+from repro.data import (
+    BrinkhoffConfig,
+    BrinkhoffGenerator,
+    TDriveConfig,
+    TrucksConfig,
+    generate_road_network,
+    generate_tdrive,
+    generate_trucks,
+    interpolate_dataset,
+    plant_convoys,
+    random_walk_dataset,
+)
+from repro.data.dataset import Dataset
+
+
+class TestRoadNetwork:
+    def test_connected(self):
+        import networkx as nx
+
+        net = generate_road_network(grid_size=6, seed=3)
+        assert nx.is_connected(net.graph)
+
+    def test_node_count(self):
+        net = generate_road_network(grid_size=5, seed=1)
+        assert net.num_nodes == 25
+
+    def test_positions_within_extent(self):
+        net = generate_road_network(grid_size=6, width=1000.0, height=500.0, seed=2)
+        for x, y in net.positions.values():
+            assert 0 <= x <= 1000.0 and 0 <= y <= 500.0
+
+    def test_edges_carry_speed_and_length(self):
+        net = generate_road_network(grid_size=4, seed=0)
+        u, v = next(iter(net.graph.edges))
+        assert net.edge_speed(u, v) > 0
+        assert net.edge_length(u, v) > 0
+
+    def test_shortest_path_endpoints(self):
+        net = generate_road_network(grid_size=5, seed=5)
+        path = net.shortest_path(0, net.num_nodes - 1)
+        assert path[0] == 0 and path[-1] == net.num_nodes - 1
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            generate_road_network(grid_size=1)
+
+
+class TestBrinkhoff:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return BrinkhoffGenerator(
+            BrinkhoffConfig(max_time=40, obj_begin=20, obj_per_time=2, seed=7)
+        ).generate()
+
+    def test_every_tick_has_points(self, dataset):
+        assert dataset.timestamps().tolist() == list(range(40))
+
+    def test_population_grows(self, dataset):
+        first = len(dataset.snapshot(0)[0])
+        last = len(dataset.snapshot(39)[0])
+        assert last > first
+
+    def test_deterministic(self):
+        config = BrinkhoffConfig(max_time=15, obj_begin=10, seed=11)
+        a = BrinkhoffGenerator(config).generate()
+        b = BrinkhoffGenerator(config).generate()
+        assert a == b
+
+    def test_positions_on_map(self, dataset):
+        gen = BrinkhoffGenerator(BrinkhoffConfig(max_time=10, obj_begin=5, seed=7))
+        ds = gen.generate()
+        assert ds.xs.min() >= 0 and ds.xs.max() <= gen.network.width
+        assert ds.ys.min() >= 0 and ds.ys.max() <= gen.network.height
+
+    def test_external_objects_present(self):
+        gen = BrinkhoffGenerator(
+            BrinkhoffConfig(max_time=10, obj_begin=2, obj_per_time=0,
+                            ext_obj_begin=3, seed=1)
+        )
+        ds = gen.generate()
+        assert ds.num_objects == 5
+
+    def test_objects_move_continuously(self, dataset):
+        # No teleporting: per-tick displacement bounded by highway speed.
+        oid = int(dataset.oids[0])
+        rows = dataset.oids == oid
+        ts, xs, ys = dataset.ts[rows], dataset.xs[rows], dataset.ys[rows]
+        order = np.argsort(ts)
+        step = np.hypot(np.diff(xs[order]), np.diff(ys[order]))
+        assert step.max() <= 120.0 / 30.0 * 3.0 + 1e-6
+
+
+class TestPlanter:
+    def test_ground_truth_recovered_exactly(self):
+        workload = plant_convoys(
+            n_convoys=4, convoy_size=4, convoy_duration=15, n_noise=15,
+            duration=50, seed=9,
+        )
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        mined = K2Hop(query).mine(workload.dataset).convoys
+        for truth in workload.convoys:
+            assert any(
+                truth.objects <= found.objects
+                and found.interval.contains_interval(truth.interval)
+                for found in mined
+            ), f"planted convoy {truth} not recovered"
+
+    def test_convoy_members_stay_within_eps(self):
+        workload = plant_convoys(n_convoys=2, convoy_size=3, seed=3)
+        for convoy in workload.convoys:
+            for t in convoy.interval:
+                oids, xs, ys = workload.dataset.points_for(t, sorted(convoy.objects))
+                assert len(oids) == convoy.size
+                spread = max(xs.max() - xs.min(), ys.max() - ys.min())
+                assert spread < workload.eps
+
+    def test_zero_convoys(self):
+        workload = plant_convoys(n_convoys=0, n_noise=10, duration=20, seed=0)
+        assert workload.convoys == []
+        assert workload.dataset.num_objects == 10
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            plant_convoys(convoy_duration=100, duration=50)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            plant_convoys(jitter=10.0, eps=10.0)
+
+
+class TestRandomWalk:
+    def test_every_object_every_tick(self):
+        ds = random_walk_dataset(n_objects=5, duration=10, seed=2)
+        assert ds.num_points == 50
+
+    def test_deterministic(self):
+        assert random_walk_dataset(seed=5) == random_walk_dataset(seed=5)
+
+
+class TestTrucks:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_trucks(TrucksConfig(n_trucks=6, n_days=2, day_length=60, seed=3))
+
+    def test_day_split_object_ids(self, dataset):
+        # n_trucks * n_days distinct objects.
+        assert dataset.num_objects == 12
+
+    def test_days_do_not_overlap_in_time(self, dataset):
+        day0 = dataset.restrict_objects(range(6))
+        day1 = dataset.restrict_objects(range(6, 12))
+        assert day0.end_time < day1.start_time
+
+    def test_full_coverage_within_day(self, dataset):
+        oids, _, _ = dataset.snapshot(0)
+        assert len(oids) == 6
+
+
+class TestTDrive:
+    def test_interpolated_to_every_tick(self):
+        ds = generate_tdrive(TDriveConfig(n_taxis=12, duration=40, seed=5))
+        # After interpolation each object's trajectory is gap-free between
+        # its first and last fix (modulo max_gap splits).
+        oid = int(ds.oids[0])
+        ts = np.sort(ds.ts[ds.oids == oid])
+        gaps = np.diff(ts)
+        assert (gaps >= 1).all()
+        # The overwhelming majority of ticks are consecutive after resampling.
+        assert (gaps == 1).mean() > 0.9
+
+
+class TestInterpolate:
+    def test_fills_linear_positions(self):
+        ds = Dataset.from_records([(1, 0, 0.0, 0.0), (1, 4, 8.0, 4.0)])
+        out = interpolate_dataset(ds)
+        oids, xs, ys = out.snapshot(2)
+        assert oids.tolist() == [1]
+        assert xs[0] == pytest.approx(4.0)
+        assert ys[0] == pytest.approx(2.0)
+
+    def test_respects_max_gap(self):
+        ds = Dataset.from_records([(1, 0, 0.0, 0.0), (1, 100, 8.0, 4.0)])
+        out = interpolate_dataset(ds, max_gap=10)
+        assert out.num_points == 2  # gap too long: not filled
+
+    def test_duplicate_tick_keeps_last_fix(self):
+        ds = Dataset.from_records([(1, 0, 0.0, 0.0), (1, 0, 5.0, 5.0), (1, 1, 6.0, 6.0)])
+        out = interpolate_dataset(ds)
+        _, xs, _ = out.snapshot(0)
+        assert xs[0] == pytest.approx(5.0)
+
+    def test_empty_passthrough(self):
+        ds = Dataset.empty()
+        assert interpolate_dataset(ds) is ds

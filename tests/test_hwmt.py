@@ -1,0 +1,111 @@
+"""Hop-Window Mining Tree: ordering and in-window mining."""
+
+import pytest
+
+from repro.core import ConvoyQuery
+from repro.core.bench_points import HopWindow
+from repro.core.hwmt import hwmt_order, mine_hop_window, recluster
+from repro.core.types import Convoy, TimeInterval
+from tests.conftest import make_line_dataset
+
+
+class TestHWMTOrder:
+    def test_covers_interior_exactly_once(self):
+        order = hwmt_order(0, 8)
+        assert sorted(order) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_root_is_midpoint(self):
+        assert hwmt_order(0, 8)[0] == 4
+
+    def test_level_structure_matches_figure_4(self):
+        # For window (0, 8): root 4; level 2: 2, 6; level 3: 1, 3, 5, 7.
+        assert hwmt_order(0, 8) == [4, 2, 6, 1, 3, 5, 7]
+
+    def test_empty_interior(self):
+        assert hwmt_order(3, 4) == []
+
+    def test_single_interior_timestamp(self):
+        assert hwmt_order(3, 5) == [4]
+
+    @pytest.mark.parametrize("left,right", [(0, 2), (0, 5), (10, 17), (0, 100)])
+    def test_permutation_property(self, left, right):
+        order = hwmt_order(left, right)
+        assert sorted(order) == list(range(left + 1, right))
+
+
+def _window_dataset():
+    """Objects a,b,c,d (0-3) together through ticks 0..8; x,y,z (4-6)
+    together only at the benchmark ticks (coincidental togetherness)."""
+    positions = {}
+    for t in range(9):
+        snap = {}
+        for i in range(4):  # the true convoy, tight cluster moving right
+            snap[i] = (t * 10.0 + i * 0.5, 0.0)
+        if t in (0, 8):  # coincidental cluster at benchmarks only
+            for j in range(4, 7):
+                snap[j] = (500.0 + j, 0.0)
+        else:
+            for j in range(4, 7):
+                snap[j] = (500.0 + 100.0 * j + t, 0.0)
+        positions[t] = snap
+    return make_line_dataset(positions)
+
+
+class TestMineHopWindow:
+    def test_spanning_convoy_survives(self):
+        dataset = _window_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=3.0)
+        window = HopWindow(0, 8)
+        candidates = [frozenset({0, 1, 2, 3}), frozenset({4, 5, 6})]
+        result = mine_hop_window(dataset, window, candidates, query)
+        assert result == [Convoy(frozenset({0, 1, 2, 3}), TimeInterval(0, 8))]
+
+    def test_empty_candidates_short_circuit(self):
+        dataset = _window_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=3.0)
+        assert mine_hop_window(dataset, HopWindow(0, 8), [], query) == []
+
+    def test_coincidental_cluster_pruned_at_first_recluster(self):
+        """x,y,z are apart at the root timestamp, so HWMT drops them after
+        one re-clustering — the fail-fast behaviour of the midpoint order."""
+        dataset = _window_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=3.0)
+        from repro.core import MiningStats
+
+        stats = MiningStats()
+        mine_hop_window(
+            dataset, HopWindow(0, 8), [frozenset({4, 5, 6})], query, stats
+        )
+        # Only the root timestamp was read for the doomed candidate.
+        assert stats.points_processed_by_phase["hwmt"] == 3
+
+    def test_candidate_split_tracks_both_halves(self):
+        positions = {}
+        for t in range(5):
+            snap = {}
+            offset = 0.0 if t in (0, 4) else 50.0  # split apart inside window
+            for i in range(3):
+                snap[i] = (i * 1.0, 0.0)
+            for i in range(3, 6):
+                snap[i] = (i * 1.0 + offset, 0.0)
+            positions[t] = snap
+        dataset = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=4, eps=5.0)
+        result = mine_hop_window(
+            dataset, HopWindow(0, 4), [frozenset(range(6))], query
+        )
+        objects = {c.objects for c in result}
+        assert objects == {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+
+
+class TestRecluster:
+    def test_restricts_to_candidate_objects(self):
+        dataset = _window_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=3.0)
+        clusters = recluster(dataset, 4, frozenset({0, 1, 2}), query)
+        assert clusters == [frozenset({0, 1, 2})]
+
+    def test_too_few_points_returns_empty(self):
+        dataset = _window_dataset()
+        query = ConvoyQuery(m=3, k=8, eps=3.0)
+        assert recluster(dataset, 4, frozenset({0, 1}), query) == []

@@ -1,0 +1,103 @@
+"""DCM-merge of spanning convoys — including the paper's Table 3 example."""
+
+import pytest
+
+from repro.core.merge import merge_spanning_convoys
+from repro.core.types import Convoy
+
+
+def _window(span, *object_sets):
+    start, end = span
+    return [Convoy.of(objs, start, end) for objs in object_sets]
+
+
+class TestPaperTable3:
+    """Figure 5 / Table 3 of the paper: four hop windows, m = 2.
+
+    Window contents (1st-order spanning convoys):
+      H0 [b0,b1]: {a,b,c,d}, {e,f,g,h}, {i,j,k}
+      H1 [b1,b2]: {a,b,c,d}, {e,f}, {g,h}
+      H2 [b2,b3]: {a,b,e,f}, {c,d,g,h}, {i,j,k}
+      H3 [b3,b4]: {a,b}, {c,d}, {e,f}, {g,h}, {c,d,g,h}... (final column)
+
+    We use benchmark tick numbers 0..4 for b0..b4.
+    """
+
+    def test_full_merge_produces_table_3_result(self):
+        windows = [
+            _window((0, 1), "abcd", "efgh", "ijk"),
+            _window((1, 2), "abcd", "ef", "gh"),
+            _window((2, 3), "abef", "cdgh", "ijk"),
+            _window((3, 4), "ab", "cd", "ef", "gh", "cdgh"),
+        ]
+        result = set(merge_spanning_convoys(windows, m=2))
+        expected = {
+            Convoy.of("abcd", 0, 2),
+            Convoy.of("efgh", 0, 1),
+            Convoy.of("ab", 0, 4),
+            Convoy.of("cd", 0, 4),
+            Convoy.of("ef", 0, 4),
+            Convoy.of("gh", 0, 4),
+            Convoy.of("abef", 2, 3),
+            Convoy.of("cdgh", 2, 4),
+            Convoy.of("ijk", 2, 3),
+        }
+        # {i,j,k} in H0 stays [0,1]; in H2 it reappears [2,3].
+        expected.add(Convoy.of("ijk", 0, 1))
+        assert result == expected
+
+    def test_first_merge_step_matches_table_3_column_1(self):
+        windows = [
+            _window((0, 1), "abcd", "efgh", "ijk"),
+            _window((1, 2), "abcd", "ef", "gh"),
+        ]
+        result = set(merge_spanning_convoys(windows, m=2))
+        assert result == {
+            Convoy.of("abcd", 0, 2),
+            Convoy.of("efgh", 0, 1),
+            Convoy.of("ef", 0, 2),
+            Convoy.of("gh", 0, 2),
+            Convoy.of("ijk", 0, 1),
+        }
+
+
+class TestMergeMechanics:
+    def test_empty_windows(self):
+        assert merge_spanning_convoys([], m=2) == []
+        assert merge_spanning_convoys([[], []], m=2) == []
+
+    def test_gap_window_closes_everything(self):
+        windows = [_window((0, 1), "abc"), [], _window((2, 3), "abc")]
+        result = set(merge_spanning_convoys(windows, m=2))
+        assert result == {Convoy.of("abc", 0, 1), Convoy.of("abc", 2, 3)}
+
+    def test_chain_across_three_windows(self):
+        windows = [
+            _window((0, 1), "abc"),
+            _window((1, 2), "abc"),
+            _window((2, 3), "abc"),
+        ]
+        assert merge_spanning_convoys(windows, m=2) == [Convoy.of("abc", 0, 3)]
+
+    def test_shrink_keeps_both(self):
+        windows = [_window((0, 1), "abcd"), _window((1, 2), "ab")]
+        result = set(merge_spanning_convoys(windows, m=2))
+        assert result == {Convoy.of("abcd", 0, 1), Convoy.of("ab", 0, 2)}
+
+    def test_mismatched_spans_rejected(self):
+        bad = [[Convoy.of("ab", 0, 1), Convoy.of("cd", 1, 2)]]
+        with pytest.raises(ValueError):
+            merge_spanning_convoys(bad, m=2)
+
+    def test_intersection_below_m_not_merged(self):
+        windows = [_window((0, 1), "abc"), _window((1, 2), "cde")]
+        result = set(merge_spanning_convoys(windows, m=2))
+        assert result == {Convoy.of("abc", 0, 1), Convoy.of("cde", 1, 2)}
+
+    def test_two_candidates_merge_into_same_intersection(self):
+        windows = [
+            _window((0, 1), "abcx", "aby"),
+            _window((1, 2), "ab"),
+        ]
+        result = set(merge_spanning_convoys(windows, m=2))
+        assert Convoy.of("ab", 0, 2) in result

@@ -1,0 +1,126 @@
+"""Moving-cluster mining (classic MC2 and the k/2-hop-accelerated variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvoyQuery
+from repro.data import Dataset, random_walk_dataset
+from repro.extensions import (
+    jaccard,
+    mine_moving_clusters,
+    mine_moving_clusters_k2,
+)
+from tests.conftest import make_line_dataset
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_half(self):
+        assert jaccard(frozenset({1, 2}), frozenset({2, 3})) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+
+def _drifting_cluster_dataset():
+    """A cluster whose membership drifts one object per tick.
+
+    Ticks 0..5; members start {0,1,2,3}; object (t-1) leaves and object
+    (t+3) joins each tick, while keeping >= 3/5 overlap.
+    """
+    positions = {}
+    for t in range(6):
+        snap = {}
+        members = set(range(t, t + 4))
+        for oid in range(12):
+            if oid in members:
+                snap[oid] = (oid * 1.0, 0.0)  # chained within eps
+            else:
+                snap[oid] = (500.0 + oid * 100.0, 300.0)
+        positions[t] = snap
+    return make_line_dataset(positions)
+
+
+class TestMovingClusters:
+    def test_detects_drifting_cluster(self):
+        ds = _drifting_cluster_dataset()
+        query = ConvoyQuery(m=3, k=4, eps=1.5)
+        result = mine_moving_clusters(ds, query, theta=0.5)
+        assert result, "drifting cluster missed"
+        longest = max(result, key=lambda mc: mc.duration)
+        assert longest.duration >= 4
+        # Membership at the first and last covered tick differs (drift).
+        assert longest.members_at(longest.start) != longest.members_at(longest.end)
+
+    def test_convoy_is_special_case(self):
+        # A fixed group is a moving cluster at any theta.
+        positions = {t: {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)} for t in range(5)}
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=4, eps=1.5)
+        result = mine_moving_clusters(ds, query, theta=1.0)
+        assert len(result) == 1
+        assert result[0].all_members == frozenset({0, 1, 2})
+        assert result[0].duration == 5
+
+    def test_theta_validation(self):
+        ds = random_walk_dataset(n_objects=4, duration=5, seed=0)
+        with pytest.raises(ValueError):
+            mine_moving_clusters(ds, ConvoyQuery(m=2, k=2, eps=5.0), theta=0.0)
+
+    def test_chain_breaks_below_theta(self):
+        # Cluster completely replaced at t=3: chain must break.
+        positions = {}
+        for t in range(6):
+            group = range(3) if t < 3 else range(10, 13)
+            snap = {oid: (i * 1.0, 0.0) for i, oid in enumerate(group)}
+            positions[t] = snap
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=3, eps=1.5)
+        result = mine_moving_clusters(ds, query, theta=0.5)
+        durations = sorted(mc.duration for mc in result)
+        assert durations == [3, 3]
+
+    def test_members_at_bounds(self):
+        ds = _drifting_cluster_dataset()
+        query = ConvoyQuery(m=3, k=4, eps=1.5)
+        mc = mine_moving_clusters(ds, query, theta=0.5)[0]
+        with pytest.raises(KeyError):
+            mc.members_at(mc.end + 1)
+
+
+class TestMovingClustersK2:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_classic_on_stable_clusters(self, seed):
+        """With theta=1 (no drift) the benchmark filter is exact."""
+        ds = random_walk_dataset(n_objects=9, duration=18, extent=50.0, step=8.0, seed=seed)
+        query = ConvoyQuery(m=3, k=4, eps=13.0)
+        classic = mine_moving_clusters(ds, query, theta=1.0)
+        pruned = mine_moving_clusters_k2(ds, query, theta=1.0)
+        assert pruned == classic
+
+    def test_recall_on_drifting_cluster(self):
+        ds = _drifting_cluster_dataset()
+        query = ConvoyQuery(m=3, k=4, eps=1.5)
+        classic = mine_moving_clusters(ds, query, theta=0.5)
+        pruned = mine_moving_clusters_k2(ds, query, theta=0.5)
+        # Moderate drift at small hop: nothing lost here.
+        assert pruned == classic
+
+    def test_k1_falls_back_to_classic(self):
+        ds = random_walk_dataset(n_objects=6, duration=8, seed=2)
+        query = ConvoyQuery(m=3, k=1, eps=12.0)
+        assert mine_moving_clusters_k2(ds, query, theta=0.8) == (
+            mine_moving_clusters(ds, query, theta=0.8)
+        )
+
+    def test_empty_when_no_benchmark_overlap(self):
+        # Objects never together: no active regions at all.
+        records = [(oid, t, oid * 1000.0, t * 1.0) for oid in range(4) for t in range(12)]
+        ds = Dataset.from_records(records)
+        query = ConvoyQuery(m=2, k=6, eps=5.0)
+        assert mine_moving_clusters_k2(ds, query, theta=0.5) == []

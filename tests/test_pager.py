@@ -1,0 +1,119 @@
+"""Page file and buffer pool."""
+
+import os
+
+import pytest
+
+from repro.storage import PAGE_SIZE, BufferPool, Pager
+
+
+@pytest.fixture()
+def pager(tmp_path):
+    p = Pager(str(tmp_path / "pages.db"))
+    yield p
+    p.close()
+
+
+class TestPager:
+    def test_allocate_and_roundtrip(self, pager):
+        page_no = pager.allocate()
+        payload = bytes([7]) * PAGE_SIZE
+        pager.write_page(page_no, payload)
+        assert bytes(pager.read_page(page_no)) == payload
+
+    def test_pages_are_zeroed_on_allocation(self, pager):
+        page_no = pager.allocate()
+        assert bytes(pager.read_page(page_no)) == bytes(PAGE_SIZE)
+
+    def test_out_of_range_read(self, pager):
+        with pytest.raises(IndexError):
+            pager.read_page(0)
+
+    def test_wrong_size_write_rejected(self, pager):
+        page_no = pager.allocate()
+        with pytest.raises(ValueError):
+            pager.write_page(page_no, b"short")
+
+    def test_io_stats_counted(self, pager):
+        page_no = pager.allocate()
+        pager.read_page(page_no)
+        assert pager.stats.pages_written == 1
+        assert pager.stats.pages_read == 1
+        assert pager.stats.bytes_read == PAGE_SIZE
+
+    def test_sequential_access_counts_one_seek(self, pager):
+        a = pager.allocate()
+        b = pager.allocate()
+        pager.stats.reset()
+        pager._last_offset = -1
+        pager.read_page(a)
+        pager.read_page(b)  # sequential: no extra seek
+        assert pager.stats.seeks == 1
+        pager.read_page(a)  # jump back: one more
+        assert pager.stats.seeks == 2
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        pager = Pager(path)
+        page_no = pager.allocate()
+        pager.write_page(page_no, bytes([9]) * PAGE_SIZE)
+        pager.close()
+        reopened = Pager(path)
+        assert reopened.num_pages == 1
+        assert bytes(reopened.read_page(page_no)) == bytes([9]) * PAGE_SIZE
+        reopened.close()
+
+    def test_non_aligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(ValueError):
+            Pager(str(path))
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        page_no = pool.allocate()
+        pool.get(page_no)
+        assert pager.stats.buffer_hits == 1
+        assert pager.stats.buffer_misses == 0
+
+    def test_eviction_writes_dirty_pages(self, tmp_path):
+        path = str(tmp_path / "evict.db")
+        pager = Pager(path)
+        pool = BufferPool(pager, capacity=4)
+        first = pool.allocate()
+        data = pool.get(first)
+        data[0] = 42
+        pool.mark_dirty(first)
+        for _ in range(8):  # force eviction of `first`
+            pool.allocate()
+        assert first not in pool._pages
+        # The dirty byte must have reached disk.
+        assert pager.read_page(first)[0] == 42
+        pager.close()
+
+    def test_flush_persists_without_eviction(self, pager):
+        pool = BufferPool(pager, capacity=8)
+        page_no = pool.allocate()
+        pool.get(page_no)[1] = 7
+        pool.mark_dirty(page_no)
+        pool.flush()
+        assert pager.read_page(page_no)[1] == 7
+
+    def test_mark_dirty_requires_residency(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(99)
+
+    def test_capacity_validation(self, pager):
+        with pytest.raises(ValueError):
+            BufferPool(pager, capacity=2)
+
+    def test_lru_evicts_least_recent(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pages = [pool.allocate() for _ in range(4)]
+        pool.get(pages[0])  # refresh page 0 to MRU
+        pool.allocate()  # evicts pages[1]
+        assert pages[0] in pool._pages
+        assert pages[1] not in pool._pages

@@ -1,0 +1,42 @@
+"""ConvoyQuery parameter validation and the hop rule."""
+
+import pytest
+
+from repro.core import ConvoyQuery
+
+
+def test_valid_query():
+    query = ConvoyQuery(m=3, k=10, eps=0.5)
+    assert query.m == 3 and query.k == 10 and query.eps == 0.5
+
+
+@pytest.mark.parametrize("m", [1, 0, -2])
+def test_m_must_be_at_least_two(m):
+    with pytest.raises(ValueError):
+        ConvoyQuery(m=m, k=5, eps=1.0)
+
+
+@pytest.mark.parametrize("k", [0, -1])
+def test_k_must_be_positive(k):
+    with pytest.raises(ValueError):
+        ConvoyQuery(m=2, k=k, eps=1.0)
+
+
+@pytest.mark.parametrize("eps", [0.0, -0.5])
+def test_eps_must_be_positive(eps):
+    with pytest.raises(ValueError):
+        ConvoyQuery(m=2, k=5, eps=eps)
+
+
+@pytest.mark.parametrize(
+    "k,expected_hop",
+    [(1, 1), (2, 1), (3, 1), (4, 2), (5, 2), (8, 4), (9, 4), (1200, 600)],
+)
+def test_hop_is_floor_k_over_2(k, expected_hop):
+    assert ConvoyQuery(m=2, k=k, eps=1.0).hop == expected_hop
+
+
+def test_query_is_frozen():
+    query = ConvoyQuery(m=2, k=5, eps=1.0)
+    with pytest.raises(AttributeError):
+        query.m = 4

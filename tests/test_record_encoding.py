@@ -1,0 +1,48 @@
+"""Composite-key encoding shared by both disk stores."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.record import (
+    KEY_SIZE,
+    VALUE_SIZE,
+    decode_key,
+    decode_value,
+    encode_key,
+    encode_value,
+    time_range_keys,
+)
+
+
+class TestKeyEncoding:
+    def test_roundtrip(self):
+        assert decode_key(encode_key(42, 7)) == (42, 7)
+
+    def test_sizes(self):
+        assert len(encode_key(1, 2)) == KEY_SIZE
+        assert len(encode_value(1.0, 2.0)) == VALUE_SIZE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_key(-1, 0)
+        with pytest.raises(ValueError):
+            encode_key(0, -1)
+
+    @given(
+        st.tuples(st.integers(0, 2**40), st.integers(0, 2**40)),
+        st.tuples(st.integers(0, 2**40), st.integers(0, 2**40)),
+    )
+    def test_byte_order_equals_numeric_order(self, a, b):
+        """The property every sorted store depends on."""
+        assert (encode_key(*a) < encode_key(*b)) == (a < b)
+
+    def test_time_range_covers_all_oids(self):
+        lo, hi = time_range_keys(5)
+        assert lo < encode_key(5, 0) or lo == encode_key(5, 0)
+        assert encode_key(5, 10**9) < hi
+        assert hi < encode_key(6, 0)
+
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_value_roundtrip(self, x, y):
+        assert decode_value(encode_value(x, y)) == (x, y)

@@ -1,0 +1,42 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.report import ascii_chart
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_chart(
+            {"k2": [1.0, 2.0, 3.0], "vcoda": [3.0, 3.0, 3.0]},
+            [10, 20, 30],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o=k2" in chart and "x=vcoda" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_scale_labels(self):
+        chart = ascii_chart({"s": [1.0, 1000.0]}, [0, 1], log_y=True)
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [1.0, 2.0]}, [1, 2, 3])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, [])
+
+    def test_constant_series(self):
+        chart = ascii_chart({"s": [5.0, 5.0]}, [0, 1])
+        assert chart  # no division by zero
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [2.0]}, [7])
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart({"s": [1.0, 2.0]}, [0, 1], width=30, height=8)
+        body_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(body_lines) == 8

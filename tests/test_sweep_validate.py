@@ -1,0 +1,136 @@
+"""Restricted sweep and FC validation, incl. the paper's Figure 2 cases."""
+
+import pytest
+
+from repro.baselines import mine_pccd
+from repro.core import ConvoyQuery
+from repro.core.sweep import sweep_restricted
+from repro.core.types import Convoy
+from repro.core.validate import is_fully_connected, validate_convoys
+from repro.data import random_walk_dataset
+from tests.conftest import make_line_dataset
+
+
+class TestSweepRestricted:
+    def test_matches_pccd_on_full_database(self):
+        for seed in range(5):
+            ds = random_walk_dataset(
+                n_objects=8, duration=15, extent=45.0, step=8.0, seed=seed
+            )
+            query = ConvoyQuery(m=3, k=4, eps=12.0)
+            via_sweep = set(
+                sweep_restricted(ds, None, ds.start_time, ds.end_time, query)
+            )
+            via_pccd = set(mine_pccd(ds, query))
+            assert via_sweep == via_pccd
+
+    def test_restriction_hides_other_objects(self):
+        # Objects 0,1 only connect through 2; restricted to {0,1} no convoy.
+        positions = {
+            t: {0: (0.0, 0.0), 1: (8.0, 0.0), 2: (4.0, 0.0)} for t in range(5)
+        }
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=2, k=3, eps=5.0)
+        full = sweep_restricted(ds, None, 0, 4, query)
+        assert Convoy.of([0, 1, 2], 0, 4) in full
+        restricted = sweep_restricted(ds, [0, 1], 0, 4, query)
+        assert restricted == []
+
+    def test_time_restriction(self):
+        positions = {t: {0: (0.0, 0.0), 1: (1.0, 0.0)} for t in range(10)}
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=2, k=2, eps=5.0)
+        result = sweep_restricted(ds, None, 3, 6, query)
+        assert result == [Convoy.of([0, 1], 3, 6)]
+
+
+class FigureTwoData:
+    """The scenario of the paper's Figure 2 (x, y, z connected via n at t=4).
+
+    Objects: x=0, y=1, z=2, n=3.  At ticks 1-3 and 5, x/y/z are mutually
+    close; at tick 4 they are spread out and only chained through n.
+    """
+
+    @staticmethod
+    def dataset():
+        positions = {}
+        for t in range(1, 6):
+            if t == 4:
+                # x - n - y - z chain, consecutive gaps just under eps,
+                # but x and y (and y and z) more than eps apart directly.
+                positions[t] = {
+                    0: (0.0, 0.0),
+                    3: (4.5, 0.0),
+                    1: (9.0, 0.0),
+                    2: (13.5, 0.0),
+                }
+            else:
+                positions[t] = {
+                    0: (0.0, 0.0),
+                    1: (1.0, 0.0),
+                    2: (2.0, 0.0),
+                    3: (100.0, 100.0),
+                }
+        return make_line_dataset(positions)
+
+
+class TestFullConnectivity:
+    query = ConvoyQuery(m=3, k=3, eps=5.0)
+
+    def test_xyz_is_a_convoy_but_not_fully_connected(self):
+        ds = FigureTwoData.dataset()
+        # (xyz, [1,5]) is a convoy: at t=4 they share a cluster thanks to n.
+        full = sweep_restricted(ds, None, 1, 5, self.query)
+        assert any(
+            frozenset({0, 1, 2}) <= c.objects and c.start == 1 and c.end == 5
+            for c in full
+        )
+        # ... but not fully connected over [1,5].
+        assert not is_fully_connected(ds, Convoy.of([0, 1, 2], 1, 5), self.query)
+
+    def test_xyz_fully_connected_on_sub_interval(self):
+        ds = FigureTwoData.dataset()
+        assert is_fully_connected(ds, Convoy.of([0, 1, 2], 1, 3), self.query)
+
+    def test_validation_recovers_the_fc_fragments(self):
+        ds = FigureTwoData.dataset()
+        result = set(
+            validate_convoys(ds, [Convoy.of([0, 1, 2], 1, 5)], self.query)
+        )
+        assert result == {Convoy.of([0, 1, 2], 1, 3)}
+
+
+class TestValidateConvoys:
+    def test_confirms_fully_connected_candidate(self):
+        positions = {t: {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)} for t in range(6)}
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=4, eps=3.0)
+        candidate = Convoy.of([0, 1, 2], 0, 5)
+        assert validate_convoys(ds, [candidate], query) == [candidate]
+
+    def test_drops_too_short_candidates(self):
+        positions = {t: {0: (0.0, 0.0), 1: (1.0, 0.0)} for t in range(3)}
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=2, k=10, eps=3.0)
+        assert validate_convoys(ds, [Convoy.of([0, 1], 0, 2)], query) == []
+
+    def test_recursion_terminates_on_nested_shrinkage(self):
+        """abcde -> abcd -> abc chain where each level needs re-validation."""
+        positions = {}
+        for t in range(8):
+            snap = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)}
+            # d (3) is chained to abc only via e (4) at t >= 4:
+            if t < 4:
+                snap[3] = (3.0, 0.0)
+                snap[4] = (4.0, 0.0)
+            else:
+                snap[3] = (6.0, 0.0)
+                snap[4] = (4.0, 0.0)
+            positions[t] = snap
+        ds = make_line_dataset(positions)
+        query = ConvoyQuery(m=3, k=4, eps=2.5)
+        result = set(validate_convoys(ds, [Convoy.of([0, 1, 2, 3, 4], 0, 7)], query))
+        # abcde is FC only while d is adjacent; afterwards abce stays FC.
+        assert Convoy.of([0, 1, 2, 3, 4], 0, 3) in result or any(
+            frozenset({0, 1, 2}) <= c.objects for c in result
+        )

@@ -1,0 +1,169 @@
+"""Core value types: intervals, convoys, subsumption machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    Convoy,
+    ConvoySet,
+    TimeInterval,
+    as_cluster,
+    maximal_convoys,
+    sort_convoys,
+    update_maximal,
+)
+
+
+class TestTimeInterval:
+    def test_length_counts_both_endpoints(self):
+        assert len(TimeInterval(3, 7)) == 5
+
+    def test_single_tick_interval(self):
+        interval = TimeInterval(5, 5)
+        assert len(interval) == 1
+        assert 5 in interval
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(4, 3)
+
+    def test_membership(self):
+        interval = TimeInterval(2, 6)
+        assert 2 in interval and 6 in interval
+        assert 1 not in interval and 7 not in interval
+
+    def test_iteration_yields_every_tick(self):
+        assert list(TimeInterval(3, 6)) == [3, 4, 5, 6]
+
+    def test_contains_interval(self):
+        assert TimeInterval(0, 10).contains_interval(TimeInterval(3, 7))
+        assert not TimeInterval(3, 7).contains_interval(TimeInterval(0, 10))
+        assert TimeInterval(3, 7).contains_interval(TimeInterval(3, 7))
+
+    def test_overlaps(self):
+        assert TimeInterval(0, 5).overlaps(TimeInterval(5, 9))
+        assert not TimeInterval(0, 4).overlaps(TimeInterval(5, 9))
+
+    def test_intersection(self):
+        assert TimeInterval(0, 5).intersection(TimeInterval(3, 9)) == TimeInterval(3, 5)
+        with pytest.raises(ValueError):
+            TimeInterval(0, 2).intersection(TimeInterval(5, 9))
+
+    def test_ordering(self):
+        assert TimeInterval(1, 3) < TimeInterval(2, 3)
+
+
+class TestConvoy:
+    def test_of_constructor(self):
+        convoy = Convoy.of([3, 1, 2], 0, 4)
+        assert convoy.objects == frozenset({1, 2, 3})
+        assert convoy.start == 0 and convoy.end == 4
+        assert convoy.duration == 5
+        assert convoy.size == 3
+
+    def test_hashable_and_equal(self):
+        assert Convoy.of([1, 2], 0, 3) == Convoy.of([2, 1], 0, 3)
+        assert len({Convoy.of([1, 2], 0, 3), Convoy.of([1, 2], 0, 3)}) == 1
+
+    def test_subconvoy_definition_5(self):
+        big = Convoy.of([1, 2, 3], 0, 9)
+        assert Convoy.of([1, 2], 2, 5).is_subconvoy_of(big)
+        assert big.is_subconvoy_of(big)
+        assert not big.is_strict_subconvoy_of(big)
+        # object subset but time superset: not a sub-convoy
+        assert not Convoy.of([1, 2], 0, 10).is_subconvoy_of(big)
+        # time subset but extra object: not a sub-convoy
+        assert not Convoy.of([1, 4], 2, 5).is_subconvoy_of(big)
+
+    def test_with_helpers(self):
+        convoy = Convoy.of([1, 2], 0, 3)
+        assert convoy.with_interval(1, 2).interval == TimeInterval(1, 2)
+        assert convoy.with_objects([7, 8]).objects == frozenset({7, 8})
+
+
+class TestUpdateMaximal:
+    def test_inserts_new(self):
+        result = []
+        assert update_maximal(result, Convoy.of([1, 2], 0, 5))
+        assert len(result) == 1
+
+    def test_rejects_subsumed(self):
+        result = [Convoy.of([1, 2, 3], 0, 9)]
+        assert not update_maximal(result, Convoy.of([1, 2], 3, 5))
+        assert len(result) == 1
+
+    def test_evicts_subsumed_existing(self):
+        result = [Convoy.of([1, 2], 3, 5), Convoy.of([4, 5], 0, 2)]
+        assert update_maximal(result, Convoy.of([1, 2, 3], 0, 9))
+        assert Convoy.of([1, 2], 3, 5) not in result
+        assert Convoy.of([4, 5], 0, 2) in result
+
+    def test_incomparable_coexist(self):
+        result = [Convoy.of([1, 2], 0, 9)]
+        assert update_maximal(result, Convoy.of([1, 2, 3], 0, 5))
+        assert len(result) == 2
+
+
+convoy_strategy = st.builds(
+    lambda objs, start, length: Convoy.of(objs, start, start + length),
+    st.frozensets(st.integers(0, 6), min_size=1, max_size=4),
+    st.integers(0, 10),
+    st.integers(0, 6),
+)
+
+
+class TestMaximalConvoys:
+    def test_keeps_only_maximal(self):
+        convoys = [
+            Convoy.of([1, 2, 3], 0, 9),
+            Convoy.of([1, 2], 0, 9),
+            Convoy.of([1, 2], 0, 12),
+        ]
+        result = maximal_convoys(convoys)
+        assert Convoy.of([1, 2, 3], 0, 9) in result
+        assert Convoy.of([1, 2], 0, 12) in result
+        assert Convoy.of([1, 2], 0, 9) not in result
+
+    @given(st.lists(convoy_strategy, max_size=12))
+    def test_result_is_antichain(self, convoys):
+        result = maximal_convoys(convoys)
+        for a in result:
+            for b in result:
+                assert a == b or not a.is_subconvoy_of(b)
+
+    @given(st.lists(convoy_strategy, max_size=12))
+    def test_every_input_is_covered(self, convoys):
+        result = maximal_convoys(convoys)
+        for convoy in convoys:
+            assert any(convoy.is_subconvoy_of(kept) for kept in result)
+
+    @given(st.lists(convoy_strategy, max_size=12))
+    def test_idempotent(self, convoys):
+        once = maximal_convoys(convoys)
+        assert maximal_convoys(once) == once
+
+
+class TestConvoySet:
+    def test_add_maintains_maximality(self):
+        cs = ConvoySet()
+        cs.add(Convoy.of([1, 2], 0, 5))
+        cs.add(Convoy.of([1, 2, 3], 0, 9))
+        assert len(cs) == 1
+        assert Convoy.of([1, 2, 3], 0, 9) in cs
+
+    def test_extend_and_sorted(self):
+        cs = ConvoySet()
+        cs.extend([Convoy.of([5, 6], 4, 9), Convoy.of([1, 2], 0, 5)])
+        assert cs.sorted()[0].start == 0
+
+
+def test_sort_convoys_deterministic():
+    convoys = [Convoy.of([3, 4], 1, 5), Convoy.of([1, 2], 1, 5), Convoy.of([1, 2], 0, 5)]
+    ordered = sort_convoys(convoys)
+    assert ordered[0] == Convoy.of([1, 2], 0, 5)
+    assert ordered[1] == Convoy.of([1, 2], 1, 5)
+
+
+def test_as_cluster_normalises():
+    assert as_cluster([2, 1, 2]) == frozenset({1, 2})
