@@ -1,0 +1,131 @@
+"""End-to-end perf trajectory for the k/2-hop hot path.
+
+Mines the three paperbench workloads (trucks / tdrive / brinkhoff) with
+the vectorized engine (CSR + union-find clustering, bitset convoy
+algebra) and with the scalar oracle path, and writes per-phase timings,
+total wall-clock, and the vectorized/scalar speedup to ``BENCH_k2hop.json``.
+This file seeds the perf trajectory: future PRs append their numbers and
+regressions become visible as a time series.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --workloads brinkhoff --repeats 3
+
+Timings are cold single-shot per repeat (the regime the paper measures);
+the best of ``--repeats`` runs is reported to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from paperbench import DATASETS, DEFAULT_QUERIES  # noqa: E402
+
+from repro.core import K2Hop, scalar_engine, sort_convoys  # noqa: E402
+from repro.storage import MemoryStore  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_k2hop.json",
+)
+
+
+def _run_once(source, query) -> Dict:
+    started = time.perf_counter()
+    result = K2Hop(query).mine(source)
+    elapsed = time.perf_counter() - started
+    return {
+        "total_seconds": elapsed,
+        "phase_seconds": dict(result.stats.phase_times),
+        "convoys": len(result.convoys),
+        "points_processed": result.stats.points_processed,
+        "pruning_ratio": result.stats.pruning_ratio,
+        "result_signature": [
+            (sorted(c.objects), c.start, c.end)
+            for c in sort_convoys(result.convoys)
+        ],
+    }
+
+
+def _best_of(source, query, repeats: int) -> Dict:
+    runs = [_run_once(source, query) for _ in range(repeats)]
+    best = min(runs, key=lambda r: r["total_seconds"])
+    best["all_total_seconds"] = [r["total_seconds"] for r in runs]
+    return best
+
+
+def benchmark_workload(name: str, repeats: int) -> Dict:
+    dataset = DATASETS[name]()
+    query = DEFAULT_QUERIES[name]
+    source = MemoryStore(dataset)
+    vectorized = _best_of(source, query, repeats)
+    with scalar_engine():
+        scalar = _best_of(source, query, repeats)
+    if vectorized["result_signature"] != scalar["result_signature"]:
+        raise AssertionError(
+            f"{name}: vectorized and scalar engines disagree on the result set"
+        )
+    for run in (vectorized, scalar):
+        run.pop("result_signature")
+    return {
+        "dataset_points": dataset.num_points,
+        "query": {"m": query.m, "k": query.k, "eps": query.eps},
+        "vectorized": vectorized,
+        "scalar": scalar,
+        "speedup": scalar["total_seconds"] / vectorized["total_seconds"],
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument(
+        "--workloads",
+        default="trucks,tdrive,brinkhoff",
+        help="comma-separated workload names",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per engine; best is kept"
+    )
+    args = parser.parse_args(argv)
+
+    workloads = {}
+    for name in args.workloads.split(","):
+        name = name.strip()
+        if name not in DATASETS:
+            parser.error(f"unknown workload {name!r}; choose from {sorted(DATASETS)}")
+        print(f"mining {name} ...", flush=True)
+        workloads[name] = benchmark_workload(name, args.repeats)
+        row = workloads[name]
+        print(
+            f"  vectorized {row['vectorized']['total_seconds'] * 1e3:8.1f} ms"
+            f"   scalar {row['scalar']['total_seconds'] * 1e3:8.1f} ms"
+            f"   speedup {row['speedup']:.2f}x"
+            f"   convoys {row['vectorized']['convoys']}"
+        )
+
+    report = {
+        "benchmark": "k2hop-perf-trajectory",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "workloads": workloads,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

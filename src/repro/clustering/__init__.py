@@ -1,21 +1,30 @@
 """Density-based clustering substrate (DBSCAN + spatial indexes)."""
 
+from .csr import build_neighbor_csr, csr_degrees
 from .dbscan import (
     cluster_snapshot,
     dbscan_labels,
+    dbscan_labels_scalar,
     dbscan_reference,
     density_cluster_indices,
+    density_cluster_indices_scalar,
 )
 from .grid import GridIndex
 from .kdtree import KDTree
 from .neighbors import BruteForceIndex
+from .unionfind import UnionFind
 
 __all__ = [
     "BruteForceIndex",
     "GridIndex",
     "KDTree",
+    "UnionFind",
+    "build_neighbor_csr",
     "cluster_snapshot",
+    "csr_degrees",
     "dbscan_labels",
+    "dbscan_labels_scalar",
     "dbscan_reference",
     "density_cluster_indices",
+    "density_cluster_indices_scalar",
 ]

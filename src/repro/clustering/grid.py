@@ -20,7 +20,13 @@ _NEIGHBOR_OFFSETS: Tuple[Tuple[int, int], ...] = tuple(
 
 
 class GridIndex:
-    """Hash-grid over 2-D points with cell size ``eps``."""
+    """Hash-grid over 2-D points with cell size ``eps``.
+
+    Queries reuse one preallocated scratch buffer per instance, so a
+    single ``GridIndex`` must not serve :meth:`neighbors` calls from
+    multiple threads concurrently — build one index per thread (as the
+    clustering pipeline does: every clustering call constructs its own).
+    """
 
     def __init__(self, xs: np.ndarray, ys: np.ndarray, eps: float):
         if eps <= 0:
@@ -30,11 +36,19 @@ class GridIndex:
         if self._xs.shape != self._ys.shape:
             raise ValueError("xs and ys must have identical shapes")
         self._eps = float(eps)
-        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         cx = np.floor(self._xs / eps).astype(np.int64)
         cy = np.floor(self._ys / eps).astype(np.int64)
         for i, key in enumerate(zip(cx.tolist(), cy.tolist())):
-            self._cells[key].append(i)
+            buckets[key].append(i)
+        # Frozen numpy buckets + one reusable scratch buffer: a query
+        # gathers the 3x3 block by slice assignment instead of growing a
+        # Python list and re-materializing it per call.
+        self._cells: Dict[Tuple[int, int], np.ndarray] = {
+            key: np.asarray(members, dtype=np.int64)
+            for key, members in buckets.items()
+        }
+        self._scratch = np.empty(len(self._xs), dtype=np.int64)
         self._cx = cx
         self._cy = cy
 
@@ -52,12 +66,16 @@ class GridIndex:
                 f"query eps {eps} exceeds grid cell size {self._eps}"
             )
         cx, cy = int(self._cx[i]), int(self._cy[i])
-        candidates: List[int] = []
+        scratch = self._scratch
+        cells = self._cells
+        filled = 0
         for dx, dy in _NEIGHBOR_OFFSETS:
-            bucket = self._cells.get((cx + dx, cy + dy))
-            if bucket:
-                candidates.extend(bucket)
-        idx = np.asarray(candidates, dtype=np.int64)
+            bucket = cells.get((cx + dx, cy + dy))
+            if bucket is not None:
+                end = filled + len(bucket)
+                scratch[filled:end] = bucket
+                filled = end
+        idx = scratch[:filled]
         ddx = self._xs[idx] - self._xs[i]
         ddy = self._ys[idx] - self._ys[i]
         mask = ddx * ddx + ddy * ddy <= eps * eps

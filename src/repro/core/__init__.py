@@ -1,7 +1,9 @@
 """The paper's primary contribution: the k/2-hop convoy miner."""
 
 from .bench_points import HopWindow, benchmark_points, hop_windows
+from .bitset import ObjectInterner, is_submask, mask_size
 from .engine import ConvoyEngine, advise_store
+from .enginemode import engine_mode, scalar_engine, set_engine_mode, vectorized_engine
 from .k2hop import K2Hop, MiningResult, mine_convoys
 from .params import ConvoyQuery
 from .stats import MiningStats
@@ -22,6 +24,7 @@ __all__ = [
     "ConvoyEngine",
     "ConvoySet",
     "ConvoyQuery",
+    "ObjectInterner",
     "advise_store",
     "HopWindow",
     "K2Hop",
@@ -30,9 +33,15 @@ __all__ = [
     "TimeInterval",
     "as_cluster",
     "benchmark_points",
+    "engine_mode",
     "hop_windows",
+    "is_submask",
+    "mask_size",
     "maximal_convoys",
     "mine_convoys",
+    "scalar_engine",
+    "set_engine_mode",
     "sort_convoys",
     "update_maximal",
+    "vectorized_engine",
 ]

@@ -6,13 +6,19 @@ Hence the *candidate clusters* for hop window ``H_i`` — the only object sets
 worth re-clustering inside the window — are the pairwise intersections of
 the two bordering benchmark cluster sets with at least ``m`` survivors
 (Lemma 5).  Everything else is pruned without ever being read.
+
+The intersection runs on bitset masks by default (one ``&`` plus a
+popcount per cluster pair); :func:`intersect_cluster_sets_scalar` keeps
+the frozenset loop as the oracle.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..clustering import cluster_snapshot
+from .bitset import ObjectInterner
+from .enginemode import use_scalar
 from .params import ConvoyQuery
 from .source import TrajectorySource
 from .stats import MiningStats
@@ -23,7 +29,7 @@ def cluster_benchmark_point(
     source: TrajectorySource,
     t: Timestamp,
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
 ) -> List[Cluster]:
     """(m,eps)-clusters of the full snapshot at benchmark point ``t``."""
     oids, xs, ys = source.snapshot(t)
@@ -41,6 +47,26 @@ def intersect_cluster_sets(
     each right cluster in at most one candidate; exact duplicates across
     pairs are impossible, but we deduplicate defensively anyway.
     """
+    if use_scalar():
+        return intersect_cluster_sets_scalar(left, right, m)
+    interner = ObjectInterner()
+    left_masks = interner.masks_of(left)
+    right_masks = interner.masks_of(right)
+    seen = set()
+    candidates: List[Cluster] = []
+    for li in left_masks:
+        for rj in right_masks:
+            inter = li & rj
+            if inter.bit_count() >= m and inter not in seen:
+                seen.add(inter)
+                candidates.append(interner.cluster_of(inter))
+    return sorted(candidates, key=lambda c: min(c))
+
+
+def intersect_cluster_sets_scalar(
+    left: Sequence[Cluster], right: Sequence[Cluster], m: int
+) -> List[Cluster]:
+    """Frozenset intersection loop (the original implementation; oracle)."""
     seen = set()
     candidates: List[Cluster] = []
     for ci in left:

@@ -10,7 +10,7 @@ growing left; the ``k`` filter is applied only after left extension.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .hwmt import recluster
 from .params import ConvoyQuery
@@ -23,7 +23,7 @@ def extend_right(
     source: TrajectorySource,
     convoys: Sequence[Convoy],
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
 ) -> List[Convoy]:
     """Extend each convoy forward until re-clustering fails (Algorithm 3)."""
     results: List[Convoy] = []
@@ -45,7 +45,7 @@ def extend_left(
     source: TrajectorySource,
     convoys: Sequence[Convoy],
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
 ) -> List[Convoy]:
     """Extend each right-closed convoy backward, then apply the k filter."""
     results: List[Convoy] = []
@@ -69,7 +69,7 @@ def _advance(
     t: Timestamp,
     query: ConvoyQuery,
     results: List[Convoy],
-    stats: MiningStats,
+    stats: Optional[MiningStats],
     phase: str,
     *,
     forward: bool,

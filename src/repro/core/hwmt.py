@@ -11,10 +11,12 @@ and the whole window is abandoned without reading the remaining ticks.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..clustering import cluster_snapshot
 from .bench_points import HopWindow
+from .bitset import ObjectInterner
+from .enginemode import use_scalar
 from .params import ConvoyQuery
 from .source import TrajectorySource
 from .stats import MiningStats
@@ -47,7 +49,7 @@ def recluster(
     t: Timestamp,
     objects: Cluster,
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
     phase: str = "hwmt",
 ) -> List[Cluster]:
     """DBSCAN over the points of ``objects`` at tick ``t`` (the paper's
@@ -65,24 +67,30 @@ def mine_hop_window(
     window: HopWindow,
     candidates: Sequence[Cluster],
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
 ) -> List[Convoy]:
     """1st-order spanning candidate convoys of one hop window.
 
     Starting from the window's candidate clusters, re-cluster at each HWMT
     timestamp; candidates shrink or split monotonically.  Survivors of all
     interior timestamps span the window and get lifespan ``[left, right]``.
+    Survivor deduplication runs on interned bitset masks — one int hash per
+    cluster instead of a frozenset hash.
     """
     surviving: List[Cluster] = list(candidates)
     if not surviving:
         return []
+    # In scalar oracle mode, dedup on the frozensets themselves so the
+    # differential tests pit the original path against the interner.
+    interner = None if use_scalar() else ObjectInterner()
     for t in hwmt_order(window.left, window.right):
         next_surviving: List[Cluster] = []
         seen = set()
         for candidate in surviving:
             for cluster in recluster(source, t, candidate, query, stats):
-                if cluster not in seen:
-                    seen.add(cluster)
+                key = cluster if interner is None else interner.mask_of(cluster)
+                if key not in seen:
+                    seen.add(key)
                     next_surviving.append(cluster)
         if not next_surviving:
             return []

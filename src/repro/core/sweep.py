@@ -10,6 +10,12 @@ The key observation the correctness rests on: if ``O'`` has been within one
 cluster at every tick since ``s`` as a subset of a tracked candidate, then
 ``(O', [s, t])`` is itself a convoy, so intersections may inherit their
 parent's start time.
+
+The default implementation runs the candidate algebra on big-int bitset
+masks (:mod:`repro.core.bitset`): each tick's clusters are interned once
+and the inner candidate x cluster loop is pure ``&`` / ``bit_count`` /
+``==`` on ints.  :func:`sweep_restricted_scalar` is the original
+frozenset implementation, kept as the oracle.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..clustering import cluster_snapshot
+from .bitset import ObjectInterner, ObjectMask
+from .enginemode import use_scalar
 from .params import ConvoyQuery
 from .source import TrajectorySource
 from .stats import MiningStats
@@ -29,7 +37,7 @@ def sweep_restricted(
     start: Timestamp,
     end: Timestamp,
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
     phase: str = "validation",
 ) -> List[Convoy]:
     """Maximal convoys of ``DB|objects`` within ``[start, end]`` of length >= k.
@@ -37,6 +45,62 @@ def sweep_restricted(
     ``objects=None`` sweeps the unrestricted database (used by the ``k < 2``
     fallback path of :class:`repro.core.k2hop.K2Hop`).
     """
+    if use_scalar():
+        return sweep_restricted_scalar(
+            source, objects, start, end, query, stats, phase
+        )
+    wanted = sorted(set(objects)) if objects is not None else None
+    interner = ObjectInterner()
+    m = query.m
+    active: Dict[ObjectMask, Timestamp] = {}
+    found: List[Convoy] = []
+
+    def close(mask: ObjectMask, first: Timestamp, last: Timestamp) -> None:
+        if last - first + 1 >= query.k:
+            found.append(
+                Convoy(interner.cluster_of(mask), TimeInterval(first, last))
+            )
+
+    for t in range(start, end + 1):
+        if wanted is None:
+            oids, xs, ys = source.snapshot(t)
+        else:
+            oids, xs, ys = source.points_for(t, wanted)
+        if stats is not None:
+            stats.add_points(phase, len(oids))
+        clusters = cluster_snapshot(oids, xs, ys, query.eps, m)
+        cluster_masks = interner.masks_of(clusters)
+        next_active: Dict[ObjectMask, Timestamp] = {}
+        for candidate, first_seen in active.items():
+            continued_fully = False
+            for cluster_mask in cluster_masks:
+                joint = candidate & cluster_mask
+                if joint.bit_count() >= m:
+                    previous = next_active.get(joint)
+                    if previous is None or first_seen < previous:
+                        next_active[joint] = first_seen
+                    if joint == candidate:
+                        continued_fully = True
+            if not continued_fully:
+                close(candidate, first_seen, t - 1)
+        for cluster_mask in cluster_masks:
+            next_active.setdefault(cluster_mask, t)
+        active = next_active
+    for candidate, first_seen in active.items():
+        close(candidate, first_seen, end)
+    return maximal_convoys(found)
+
+
+def sweep_restricted_scalar(
+    source: TrajectorySource,
+    objects: Optional[Iterable[int]],
+    start: Timestamp,
+    end: Timestamp,
+    query: ConvoyQuery,
+    stats: Optional[MiningStats] = None,
+    phase: str = "validation",
+) -> List[Convoy]:
+    """Frozenset sweep (the original implementation; test oracle)."""
     wanted = sorted(set(objects)) if objects is not None else None
     active: Dict[Cluster, Timestamp] = {}
     found: List[Convoy] = []

@@ -13,21 +13,23 @@ connectivity over the timestamps it already covered.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
+from .bitset import ObjectInterner, ObjectMask
+from .enginemode import use_scalar
 from .hwmt import hwmt_order, recluster
 from .params import ConvoyQuery
 from .source import TrajectorySource
 from .stats import MiningStats
 from .sweep import sweep_restricted
-from .types import Convoy, maximal_convoys
+from .types import Convoy, Timestamp, maximal_convoys
 
 
 def is_fully_connected(
     source: TrajectorySource,
     convoy: Convoy,
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
 ) -> bool:
     """Fast HWMT*-ordered check: does ``O`` form one cluster at every tick?
 
@@ -49,13 +51,29 @@ def validate_convoys(
     source: TrajectorySource,
     candidates: Sequence[Convoy],
     query: ConvoyQuery,
-    stats: MiningStats = None,
+    stats: Optional[MiningStats] = None,
 ) -> List[Convoy]:
-    """Reduce extended candidates to maximal fully connected convoys."""
+    """Reduce extended candidates to maximal fully connected convoys.
+
+    The dedup set of already-enqueued candidates is keyed on interned
+    bitset masks plus lifespans, so re-discovered fragments cost one int
+    hash instead of a frozenset hash.
+    """
+    if use_scalar():
+        # Oracle mode: dedup on the convoys themselves (the original path).
+        def key(convoy: Convoy) -> Convoy:
+            return convoy
+
+    else:
+        interner = ObjectInterner()
+
+        def key(convoy: Convoy) -> Tuple[ObjectMask, Timestamp, Timestamp]:
+            return interner.mask_of(convoy.objects), convoy.start, convoy.end
+
     queue = deque(
         c for c in candidates if c.duration >= query.k and c.size >= query.m
     )
-    seen: Set[Convoy] = set(queue)
+    seen: Set = {key(c) for c in queue}
     confirmed: List[Convoy] = []
     while queue:
         candidate = queue.popleft()
@@ -79,8 +97,8 @@ def validate_convoys(
             elif (
                 fragment.duration >= query.k
                 and fragment.size >= query.m
-                and fragment not in seen
+                and key(fragment) not in seen
             ):
-                seen.add(fragment)
+                seen.add(key(fragment))
                 queue.append(fragment)
     return maximal_convoys(confirmed)
