@@ -2,14 +2,15 @@
 
 Mines the three paperbench workloads (trucks / tdrive / brinkhoff) with
 the vectorized engine (CSR + union-find clustering, bitset convoy
-algebra) and with the scalar oracle path, and writes per-phase timings,
-total wall-clock, and the vectorized/scalar speedup to ``BENCH_k2hop.json``.
-This file seeds the perf trajectory: future PRs append their numbers and
-regressions become visible as a time series.
+algebra) and with the scalar oracle path, and *appends* per-phase
+timings, total wall-clock, and the vectorized/scalar speedup as a new
+entry in ``BENCH_k2hop.json`` (see ``bench_journal.py``).  Regressions
+show up as a time series, which is also rendered as an ASCII chart via
+``repro.report``.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/perf_trajectory.py
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --label PR-2
     PYTHONPATH=src python benchmarks/perf_trajectory.py --workloads brinkhoff --repeats 3
 
 Timings are cold single-shot per repeat (the regime the paper measures);
@@ -19,7 +20,6 @@ the best of ``--repeats`` runs is reported to damp scheduler noise.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import platform
 import sys
@@ -28,9 +28,11 @@ from typing import Dict, List
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from bench_journal import append_entry, entries_of_kind, load_journal  # noqa: E402
 from paperbench import DATASETS, DEFAULT_QUERIES  # noqa: E402
 
 from repro.core import K2Hop, scalar_engine, sort_convoys  # noqa: E402
+from repro.report import print_chart  # noqa: E402
 from repro.storage import MemoryStore  # noqa: E402
 
 DEFAULT_OUT = os.path.join(
@@ -85,9 +87,37 @@ def benchmark_workload(name: str, repeats: int) -> Dict:
     }
 
 
+def plot_trajectory(journal: Dict) -> None:
+    """ASCII chart of vectorized wall-clock per workload across entries."""
+    mining = entries_of_kind(journal, "mining")
+    if not mining:
+        return
+    names = sorted(
+        {name for entry in mining for name in entry.get("workloads", {})}
+    )
+    series = {}
+    for name in names:
+        values = [
+            entry["workloads"][name]["vectorized"]["total_seconds"] * 1e3
+            for entry in mining
+            if name in entry.get("workloads", {})
+        ]
+        if len(values) == len(mining):  # only plot fully aligned series
+            series[name] = values
+    if not series:
+        return
+    print_chart(
+        series,
+        list(range(1, len(mining) + 1)),
+        title="perf trajectory: vectorized total (ms) per journal entry",
+        log_y=True,
+        y_label="ms",
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="journal JSON path")
     parser.add_argument(
         "--workloads",
         default="trucks,tdrive,brinkhoff",
@@ -95,6 +125,9 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=3, help="runs per engine; best is kept"
+    )
+    parser.add_argument(
+        "--label", default=None, help="entry label (e.g. PR-2); default: serial"
     )
     args = parser.parse_args(argv)
 
@@ -113,17 +146,20 @@ def main(argv: List[str] = None) -> int:
             f"   convoys {row['vectorized']['convoys']}"
         )
 
-    report = {
-        "benchmark": "k2hop-perf-trajectory",
+    journal = load_journal(args.out)
+    # Number mining entries only, so labels line up with the plotted series.
+    serial = len(entries_of_kind(journal, "mining")) + 1
+    entry = {
+        "kind": "mining",
+        "label": args.label if args.label is not None else f"run-{serial}",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
         "workloads": workloads,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    journal = append_entry(args.out, entry, journal)
+    print(f"appended entry {len(journal['entries'])} to {args.out}")
+    plot_trajectory(journal)
     return 0
 
 

@@ -1,0 +1,226 @@
+"""Serving-layer load harness: replay a feed, fire a mixed query workload.
+
+Replays one paperbench workload through the sharded
+:class:`~repro.service.ingest.ConvoyIngestService`, then fires a mixed
+query workload (time ranges, object histories, contains-all, region
+overlaps, open candidates) at the :class:`ConvoyQueryEngine`, reporting
+
+* ingestion throughput (snapshots/s and points/s),
+* query throughput (QPS) and latency (p50 / p95 / max, milliseconds),
+* the result-cache hit rate,
+
+and appends the numbers as a ``"serve"`` entry in the ``BENCH_k2hop.json``
+journal.  Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/serve_load.py                      # full brinkhoff
+    PYTHONPATH=src python benchmarks/serve_load.py --size small --queries 100 \
+        --min-qps 50 --max-p95-ms 50 --require-results --no-journal    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_journal import append_entry  # noqa: E402
+from paperbench import DATASETS, DEFAULT_QUERIES, small_dataset  # noqa: E402
+
+from repro.service import (  # noqa: E402
+    ConvoyIngestService,
+    ConvoyQueryEngine,
+    GridSharder,
+)
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_k2hop.json",
+)
+
+#: Mixed workload weights: heavy on time ranges, like a monitoring UI.
+MIX = (
+    ("time", 40),
+    ("object", 25),
+    ("containing", 15),
+    ("region", 10),
+    ("open", 10),
+)
+
+
+def build_workload(rng: random.Random, n: int, dataset, convoys) -> List[tuple]:
+    """Pre-generate ``n`` queries; parameters repeat so the cache can work."""
+    start, end = dataset.start_time, dataset.end_time
+    # Draw from small pools: real dashboards re-ask the same hot questions.
+    time_pool = [
+        (t1, min(end, t1 + span))
+        for t1 in range(start, end + 1, max(1, (end - start) // 12))
+        for span in (5, 20, end - start)
+    ]
+    oid_pool = sorted({oid for c in convoys for oid in c.objects}) or [0]
+    xmin, xmax = float(dataset.xs.min()), float(dataset.xs.max())
+    ymin, ymax = float(dataset.ys.min()), float(dataset.ys.max())
+    region_pool = []
+    for _ in range(8):
+        x1 = rng.uniform(xmin, xmax)
+        y1 = rng.uniform(ymin, ymax)
+        region_pool.append(
+            (x1, y1, x1 + 0.25 * (xmax - xmin), y1 + 0.25 * (ymax - ymin))
+        )
+    kinds = [kind for kind, weight in MIX for _ in range(weight)]
+    workload = []
+    for _ in range(n):
+        kind = rng.choice(kinds)
+        if kind == "time":
+            workload.append(("time", rng.choice(time_pool)))
+        elif kind == "object":
+            workload.append(("object", rng.choice(oid_pool)))
+        elif kind == "containing":
+            pair = rng.sample(oid_pool, min(2, len(oid_pool)))
+            workload.append(("containing", tuple(pair)))
+        elif kind == "region":
+            workload.append(("region", rng.choice(region_pool)))
+        else:
+            workload.append(("open", None))
+    return workload
+
+
+def run_queries(engine: ConvoyQueryEngine, workload) -> Dict:
+    latencies = []
+    non_empty = 0
+    started = time.perf_counter()
+    for kind, arg in workload:
+        q0 = time.perf_counter()
+        if kind == "time":
+            result = engine.time_range(*arg)
+        elif kind == "object":
+            result = engine.object_history(arg)
+        elif kind == "containing":
+            result = engine.containing(arg)
+        elif kind == "region":
+            result = engine.region(arg)
+        else:
+            result = engine.open_candidates()
+        latencies.append(time.perf_counter() - q0)
+        if result:
+            non_empty += 1
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+    return {
+        "queries": len(workload),
+        "qps": len(workload) / elapsed if elapsed else float("inf"),
+        "p50_ms": pct(0.50) * 1e3,
+        "p95_ms": pct(0.95) * 1e3,
+        "max_ms": latencies[-1] * 1e3,
+        "non_empty_results": non_empty,
+        "cache_hit_rate": engine.cache_stats.hit_rate,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workload", default="brinkhoff", choices=sorted(DATASETS)
+    )
+    parser.add_argument(
+        "--size", default="full", choices=("full", "small"),
+        help="small uses the reduced paperbench variant (CI smoke)",
+    )
+    parser.add_argument("--queries", type=int, default=5000)
+    parser.add_argument("--grid", default="2x2", help="shard grid, e.g. 2x2")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default=DEFAULT_OUT, help="journal JSON path")
+    parser.add_argument(
+        "--no-journal", action="store_true", help="do not append to the journal"
+    )
+    parser.add_argument("--label", default=None)
+    parser.add_argument(
+        "--min-qps", type=float, default=None, help="fail below this QPS"
+    )
+    parser.add_argument(
+        "--max-p95-ms", type=float, default=None, help="fail above this p95"
+    )
+    parser.add_argument(
+        "--require-results",
+        action="store_true",
+        help="fail unless some queries returned convoys",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = (
+        small_dataset(args.workload) if args.size == "small"
+        else DATASETS[args.workload]()
+    )
+    query = DEFAULT_QUERIES[args.workload]
+    nx, ny = (int(part) for part in args.grid.lower().split("x"))
+    duration = dataset.end_time - dataset.start_time + 1
+    sharder = GridSharder.for_dataset(dataset, query.eps, nx, ny)
+    service = ConvoyIngestService(query, sharder=sharder, history=duration)
+
+    print(
+        f"ingesting {args.workload}/{args.size}: {dataset.num_points} points, "
+        f"{duration} ticks, {sharder.n_shards} shards ...",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    service.ingest(dataset)
+    ingest_seconds = time.perf_counter() - t0
+    convoys = service.index.convoys()
+    print(
+        f"  {ingest_seconds:.2f}s  ({duration / ingest_seconds:.0f} snapshots/s, "
+        f"{dataset.num_points / ingest_seconds:.0f} points/s)  "
+        f"{len(convoys)} convoys indexed, "
+        f"{service.stats.border_merges} border merges"
+    )
+
+    rng = random.Random(args.seed)
+    workload = build_workload(rng, args.queries, dataset, convoys)
+    print(f"firing {len(workload)} mixed queries ...", flush=True)
+    results = run_queries(ConvoyQueryEngine(service.index, ingest=service), workload)
+    print(
+        f"  {results['qps']:.0f} qps   p50 {results['p50_ms']:.3f} ms   "
+        f"p95 {results['p95_ms']:.3f} ms   max {results['max_ms']:.3f} ms   "
+        f"cache hit rate {results['cache_hit_rate']:.2f}   "
+        f"non-empty {results['non_empty_results']}/{results['queries']}"
+    )
+
+    entry = {
+        "kind": "serve",
+        "label": args.label,
+        "workload": args.workload,
+        "size": args.size,
+        "grid": f"{nx}x{ny}",
+        "dataset_points": dataset.num_points,
+        "ingest_seconds": ingest_seconds,
+        "snapshots_per_second": duration / ingest_seconds,
+        "convoys_indexed": len(convoys),
+        "border_merges": service.stats.border_merges,
+        "halo_copies": service.stats.halo_copies,
+        **results,
+    }
+    if not args.no_journal:
+        journal = append_entry(args.out, entry)
+        print(f"appended serve entry {len(journal['entries'])} to {args.out}")
+
+    failures = []
+    if args.min_qps is not None and results["qps"] < args.min_qps:
+        failures.append(f"qps {results['qps']:.0f} < {args.min_qps}")
+    if args.max_p95_ms is not None and results["p95_ms"] > args.max_p95_ms:
+        failures.append(f"p95 {results['p95_ms']:.3f}ms > {args.max_p95_ms}ms")
+    if args.require_results and not results["non_empty_results"]:
+        failures.append("no query returned any convoy")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

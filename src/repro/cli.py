@@ -1,10 +1,13 @@
-"""Command-line interface: ``repro-convoy generate | mine | info``.
+"""Command-line interface: ``repro-convoy generate | mine | info | serve | query``.
 
 Examples::
 
     repro-convoy generate --kind brinkhoff --out traffic.csv
     repro-convoy mine traffic.csv -m 3 -k 10 --eps 50 --store lsmt
     repro-convoy info traffic.csv
+    repro-convoy serve traffic.csv -m 3 -k 10 --eps 50 --index-dir ./idx --shards 2x2
+    repro-convoy query ./idx --time 10:80
+    repro-convoy query ./idx --object 42
 """
 
 from __future__ import annotations
@@ -59,6 +62,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("dataset")
+
+    serve = commands.add_parser(
+        "serve", help="ingest a CSV feed into a queryable convoy index"
+    )
+    serve.add_argument("dataset", help="input CSV (oid,t,x,y), replayed as a feed")
+    serve.add_argument("-m", type=int, required=True, help="min convoy size")
+    serve.add_argument("-k", type=int, required=True, help="min convoy length")
+    serve.add_argument("--eps", type=float, required=True, help="distance threshold")
+    serve.add_argument(
+        "--index-dir",
+        default=None,
+        help="directory to persist the convoy index into (omit for in-memory)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("bptree", "lsmt"),
+        default="lsmt",
+        help="persistent backend for --index-dir",
+    )
+    serve.add_argument(
+        "--shards",
+        default="2x2",
+        help="spatial shard grid, e.g. 1x1, 2x2, 4x2",
+    )
+    serve.add_argument(
+        "--history",
+        default="full",
+        help="validation window: 'full', or a snapshot count (0 disables)",
+    )
+
+    query = commands.add_parser(
+        "query", help="query a persisted convoy index"
+    )
+    query.add_argument("index_dir", help="directory written by `serve --index-dir`")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--time", help="overlap query, as start:end")
+    what.add_argument("--object", type=int, help="convoy history of one object id")
+    what.add_argument(
+        "--containing", help="convoys containing all of these comma-separated oids"
+    )
+    what.add_argument(
+        "--region", help="bbox overlap query, as xmin,ymin,xmax,ymax"
+    )
     return parser
 
 
@@ -145,6 +191,96 @@ def _mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_convoys(convoys) -> None:
+    for convoy in convoys:
+        members = ",".join(str(o) for o in sorted(convoy.objects))
+        print(f"[{convoy.start},{convoy.end}] {{{members}}}")
+    print(f"{len(convoys)} convoy(s)")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .service import (
+        ConvoyIndex,
+        ConvoyIngestService,
+        GridSharder,
+        create_index,
+    )
+
+    dataset = load_csv(args.dataset)
+    query = ConvoyQuery(m=args.m, k=args.k, eps=args.eps)
+    try:
+        nx, ny = (int(part) for part in args.shards.lower().split("x"))
+        if nx < 1 or ny < 1:
+            raise ValueError(args.shards)
+    except ValueError:
+        print(f"bad --shards {args.shards!r}; expected e.g. 2x2", file=sys.stderr)
+        return 2
+    if args.history == "full":
+        history = dataset.info().duration
+    else:
+        try:
+            history = int(args.history)
+            if history < 0:
+                raise ValueError(args.history)
+        except ValueError:
+            print(
+                f"bad --history {args.history!r}; expected 'full' or a "
+                "non-negative integer",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        index = (
+            create_index(args.index_dir, args.backend, query)
+            if args.index_dir
+            else ConvoyIndex()
+        )
+    except ValueError as error:  # e.g. reopening under different params
+        print(str(error), file=sys.stderr)
+        return 2
+    sharder = GridSharder.for_dataset(dataset, query.eps, nx, ny)
+    service = ConvoyIngestService(
+        query, sharder=sharder, index=index, history=history
+    )
+    service.ingest(dataset)
+    _print_convoys(index.convoys())
+    print(f"ingest: {service.stats.summary()}")
+    if args.index_dir:
+        print(f"index persisted to {args.index_dir} ({args.backend})")
+        index.close()
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    from .service import ConvoyQueryEngine, open_index
+
+    index, _query_params = open_index(args.index_dir)
+    engine = ConvoyQueryEngine(index)
+    try:
+        if args.time is not None:
+            start, end = (int(part) for part in args.time.split(":"))
+            results = engine.time_range(start, end)
+        elif args.object is not None:
+            results = engine.object_history(args.object)
+        elif args.containing is not None:
+            oids = [int(part) for part in args.containing.split(",")]
+            results = engine.containing(oids)
+        else:
+            xmin, ymin, xmax, ymax = (float(p) for p in args.region.split(","))
+            results = engine.region((xmin, ymin, xmax, ymax))
+    except ValueError as error:
+        print(
+            f"bad query argument ({error}); expected --time start:end, "
+            "--containing oid,oid,..., --region xmin,ymin,xmax,ymax",
+            file=sys.stderr,
+        )
+        index.close()
+        return 2
+    _print_convoys(results)
+    index.close()
+    return 0
+
+
 def _info(args: argparse.Namespace) -> int:
     info = load_csv(args.dataset).info()
     print(f"points    : {info.num_points}")
@@ -156,7 +292,13 @@ def _info(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handlers = {"generate": _generate, "mine": _mine, "info": _info}
+    handlers = {
+        "generate": _generate,
+        "mine": _mine,
+        "info": _info,
+        "serve": _serve,
+        "query": _query,
+    }
     return handlers[args.command](args)
 
 

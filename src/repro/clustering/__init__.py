@@ -3,6 +3,7 @@
 from .csr import build_neighbor_csr, csr_degrees
 from .dbscan import (
     cluster_snapshot,
+    cluster_snapshot_with_cores,
     dbscan_labels,
     dbscan_labels_scalar,
     dbscan_reference,
@@ -21,6 +22,7 @@ __all__ = [
     "UnionFind",
     "build_neighbor_csr",
     "cluster_snapshot",
+    "cluster_snapshot_with_cores",
     "csr_degrees",
     "dbscan_labels",
     "dbscan_labels_scalar",

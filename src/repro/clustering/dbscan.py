@@ -31,7 +31,7 @@ inputs, duplicates, and shared-border-point cases.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -268,12 +268,23 @@ def density_cluster_indices(
     rows, cols, core, core_ids, comp_of = _core_components(xs, ys, eps, m)
     if not core_ids.size:
         return []
+    clusters = _assemble_components(rows, cols, core, core_ids, comp_of)
+    return [sorted(cluster) for cluster in clusters if len(cluster) >= m]
+
+
+def _assemble_components(rows, cols, core, core_ids, comp_of) -> List[List[int]]:
+    """Component member lists from the CSR core-component substrate.
+
+    Core points go to their own component; border (or noise) points attach
+    to every component owning a core point within eps — (point, component)
+    pairs are deduplicated in bulk.  Shared by the mining path
+    (:func:`density_cluster_indices`) and the service path
+    (:func:`cluster_snapshot_with_cores`) so the two cannot drift.
+    """
     n_components = int(comp_of[core_ids].max()) + 1
     clusters: List[List[int]] = [[] for _ in range(n_components)]
     for i, comp in zip(core_ids.tolist(), comp_of[core_ids].tolist()):
         clusters[comp].append(i)
-    # Border (or noise) points attach to every component owning a core
-    # point within eps; deduplicate (point, component) pairs in bulk.
     border_edge = core[cols] & ~core[rows]
     if border_edge.any():
         pair_keys = np.unique(
@@ -281,7 +292,7 @@ def density_cluster_indices(
         )
         for key in pair_keys.tolist():
             clusters[key % n_components].append(key // n_components)
-    return [sorted(cluster) for cluster in clusters if len(cluster) >= m]
+    return clusters
 
 
 def density_cluster_indices_scalar(
@@ -358,6 +369,49 @@ def cluster_snapshot(
         frozenset(oid_list[i] for i in members) for members in member_lists
     ]
     return sorted(clusters, key=lambda c: min(c))
+
+
+def cluster_snapshot_with_cores(
+    oids: Sequence[int],
+    xs: np.ndarray,
+    ys: np.ndarray,
+    eps: float,
+    m: int,
+) -> List[Tuple[Cluster, Cluster]]:
+    """Like :func:`cluster_snapshot`, but each cluster carries its core set.
+
+    Returns ``(members, cores)`` pairs where ``cores`` are the members whose
+    eps-neighborhood within *this* snapshot has at least ``m`` points.  The
+    sharded ingest service needs the core sets: a point that is core in a
+    shard's view is core globally (the view only ever under-counts
+    neighborhoods), which is what makes cross-shard cluster reconciliation
+    exact.  Vectorized CSR path only — this is service infrastructure, not
+    part of the scalar-oracle surface.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(oids) != len(xs):
+        raise ValueError("oids and coordinates must have identical lengths")
+    n = len(xs)
+    if n < m:
+        return []
+    rows, cols, core, core_ids, comp_of = _core_components(xs, ys, eps, m)
+    if not core_ids.size:
+        return []
+    members = _assemble_components(rows, cols, core, core_ids, comp_of)
+    if isinstance(oids, np.ndarray):
+        oid_list = oids.tolist()
+    else:
+        oid_list = [int(oid) for oid in oids]
+    pairs = [
+        (
+            frozenset(oid_list[i] for i in cluster),
+            frozenset(oid_list[i] for i in cluster if core[i]),
+        )
+        for cluster in members
+        if len(cluster) >= m
+    ]
+    return sorted(pairs, key=lambda pair: min(pair[0]))
 
 
 def dbscan_reference(

@@ -13,6 +13,7 @@ from .types import (
     ConvoySet,
     TimeInterval,
     as_cluster,
+    cached_mask,
     maximal_convoys,
     sort_convoys,
     update_maximal,
@@ -33,6 +34,7 @@ __all__ = [
     "TimeInterval",
     "as_cluster",
     "benchmark_points",
+    "cached_mask",
     "engine_mode",
     "hop_windows",
     "is_submask",

@@ -19,9 +19,11 @@ sets at phase boundaries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Sequence
 
-from .types import Cluster
+#: Structurally identical to :data:`repro.core.types.Cluster`; declared here
+#: (not imported) so :mod:`repro.core.types` can build on this module.
+Cluster = FrozenSet[int]
 
 ObjectMask = int
 
@@ -44,6 +46,15 @@ class ObjectInterner:
 
     def __len__(self) -> int:
         return len(self._oid_at)
+
+    def bit_if_known(self, oid: int):
+        """Bit position of ``oid`` if already interned, else ``None``.
+
+        Query paths use this to probe membership without growing the
+        table: an oid the interner has never seen cannot be a member of
+        any mask it ever produced.
+        """
+        return self._bit_of.get(oid)
 
     def bit_of(self, oid: int) -> int:
         """Bit position of ``oid``, interning it on first sight."""

@@ -12,11 +12,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .enginemode import use_scalar
 from .hwmt import recluster
 from .params import ConvoyQuery
 from .source import TrajectorySource
 from .stats import MiningStats
-from .types import Cluster, Convoy, TimeInterval, Timestamp, update_maximal
+from .types import (
+    Convoy,
+    TimeInterval,
+    Timestamp,
+    cached_mask,
+    update_maximal,
+)
 
 
 def extend_right(
@@ -78,9 +85,12 @@ def _advance(
 
     Convoys that do not survive in their current shape are closed into
     ``results`` (Algorithm 3, lines 7-13); every resulting cluster becomes
-    a frontier convoy with the extended lifespan.
+    a frontier convoy with the extended lifespan.  Frontier deduplication
+    keys on cached bitset masks (one int hash per cluster); the scalar
+    oracle keeps the frozenset keys.
     """
-    next_frontier: Dict[Tuple[Cluster, Timestamp], Convoy] = {}
+    key_of = (lambda cluster: cluster) if use_scalar() else cached_mask
+    next_frontier: Dict[Tuple[object, Timestamp], Convoy] = {}
     for convoy in frontier:
         clusters = recluster(source, t, convoy.objects, query, stats, phase)
         if not clusters:
@@ -93,7 +103,7 @@ def _advance(
             interval = TimeInterval(t, convoy.end)
             anchor = convoy.end
         for cluster in clusters:
-            key = (cluster, anchor)
+            key = (key_of(cluster), anchor)
             if key not in next_frontier:
                 next_frontier[key] = Convoy(cluster, interval)
         if convoy.objects not in clusters:

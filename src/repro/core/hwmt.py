@@ -4,21 +4,26 @@ The HWMT is a binary tree over a window's interior timestamps with the
 middle timestamp at the root; levels are processed root-first, which means
 the *farthest-apart* timestamps are clustered first.  Objects that are only
 coincidentally together at adjacent ticks are unlikely to be together at
-distant ticks, so this order empties the candidate set as early as possible
-and the whole window is abandoned without reading the remaining ticks.
+distant ticks, so this order empties the candidate set as early as possible.
+Candidates that die at the root cost exactly one tick of reads; each root
+survivor then prefetches the rest of its window in one batched fetch (the
+scalar oracle path keeps the original fetch-per-tick behaviour, where a
+dying window never reads its remaining ticks).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..clustering import cluster_snapshot
 from .bench_points import HopWindow
 from .bitset import ObjectInterner
 from .enginemode import use_scalar
 from .params import ConvoyQuery
-from .source import TrajectorySource
+from .source import TrajectorySource, fetch_points_for_many, select_sorted_rows
 from .stats import MiningStats
 from .types import Cluster, Convoy, TimeInterval, Timestamp
 
@@ -76,24 +81,106 @@ def mine_hop_window(
     interior timestamps span the window and get lifespan ``[left, right]``.
     Survivor deduplication runs on interned bitset masks — one int hash per
     cluster instead of a frozenset hash.
+
+    Point access is two-phase: the root (midpoint) timestamp is probed with
+    a per-tick fetch — most candidates die there and cost nothing more —
+    and each survivor then prefetches the remaining interior timestamps
+    with a single batched ``points_for_many`` call (one fetch per window
+    per candidate instead of one per tick).
     """
-    surviving: List[Cluster] = list(candidates)
+    if not candidates:
+        return []
+    # In scalar oracle mode, run the original per-tick loop deduping on the
+    # frozensets themselves, so the differential tests pit the original
+    # path against the interner + prefetch machinery.
+    if use_scalar():
+        return _mine_hop_window_scalar(source, window, candidates, query, stats)
+    order = hwmt_order(window.left, window.right)
+    interval = TimeInterval(window.left, window.right)
+    if not order:
+        return [Convoy(cluster, interval) for cluster in candidates]
+    interner = ObjectInterner()
+    root, rest = order[0], order[1:]
+    surviving: List[Cluster] = []
+    seen = set()
+    for candidate in candidates:
+        for cluster in recluster(source, root, candidate, query, stats):
+            key = interner.mask_of(cluster)
+            if key not in seen:
+                seen.add(key)
+                surviving.append(cluster)
     if not surviving:
         return []
-    # In scalar oracle mode, dedup on the frozensets themselves so the
-    # differential tests pit the original path against the interner.
-    interner = None if use_scalar() else ObjectInterner()
+    if rest:
+        frontier = [
+            (cluster, _WindowBuffer(fetch_points_for_many(source, rest, cluster)))
+            for cluster in surviving
+        ]
+        for t in rest:
+            next_frontier: List[Tuple[Cluster, _WindowBuffer]] = []
+            seen = set()
+            for cluster, buffer in frontier:
+                for sub in _recluster_buffered(buffer, t, cluster, query, stats):
+                    key = interner.mask_of(sub)
+                    if key not in seen:
+                        seen.add(key)
+                        next_frontier.append((sub, buffer))
+            if not next_frontier:
+                return []
+            frontier = next_frontier
+        surviving = [cluster for cluster, _ in frontier]
+    return [Convoy(cluster, interval) for cluster in surviving]
+
+
+def _mine_hop_window_scalar(
+    source: TrajectorySource,
+    window: HopWindow,
+    candidates: Sequence[Cluster],
+    query: ConvoyQuery,
+    stats: Optional[MiningStats] = None,
+) -> List[Convoy]:
+    """Original per-tick fetch loop (the oracle path)."""
+    surviving: List[Cluster] = list(candidates)
     for t in hwmt_order(window.left, window.right):
         next_surviving: List[Cluster] = []
         seen = set()
         for candidate in surviving:
             for cluster in recluster(source, t, candidate, query, stats):
-                key = cluster if interner is None else interner.mask_of(cluster)
-                if key not in seen:
-                    seen.add(key)
+                if cluster not in seen:
+                    seen.add(cluster)
                     next_surviving.append(cluster)
         if not next_surviving:
             return []
         surviving = next_surviving
     interval = TimeInterval(window.left, window.right)
     return [Convoy(cluster, interval) for cluster in surviving]
+
+
+class _WindowBuffer:
+    """Prefetched per-candidate rows for one hop window's interior ticks."""
+
+    __slots__ = ("_snapshots",)
+
+    def __init__(self, snapshots: Dict[int, Tuple]):
+        self._snapshots = snapshots
+
+    def points_for(self, t: Timestamp, objects: Cluster):
+        oids, xs, ys = self._snapshots[int(t)]
+        wanted = np.asarray(sorted(objects), dtype=np.int64)
+        return select_sorted_rows(oids, xs, ys, wanted)
+
+
+def _recluster_buffered(
+    buffer: _WindowBuffer,
+    t: Timestamp,
+    objects: Cluster,
+    query: ConvoyQuery,
+    stats: Optional[MiningStats] = None,
+) -> List[Cluster]:
+    """`recluster` against prefetched rows: same output, no store round-trip."""
+    oids, xs, ys = buffer.points_for(t, objects)
+    if stats is not None:
+        stats.add_points("hwmt", len(oids))
+    if len(oids) < query.m:
+        return []
+    return cluster_snapshot(oids, xs, ys, query.eps, query.m)

@@ -39,3 +39,38 @@ class TrajectorySource(Protocol):
     def points_for(self, t: int, oids: Sequence[int]) -> Snapshot:
         """Subset of snapshot ``t`` restricted to the given object ids."""
         ...
+
+
+def select_sorted_rows(
+    oids: np.ndarray, xs: np.ndarray, ys: np.ndarray, wanted: np.ndarray
+) -> Snapshot:
+    """Rows of an oid-sorted snapshot whose oid is in sorted ``wanted``.
+
+    The single home of the searchsorted subset-select every store and the
+    HWMT window buffer rely on.  Both inputs MUST be ascending by oid —
+    the invariant every ``snapshot()`` in this library guarantees.
+    """
+    if not len(oids) or not len(wanted):
+        return (
+            oids[:0],
+            xs[:0],
+            ys[:0],
+        )
+    pos = np.searchsorted(oids, wanted)
+    valid = pos < len(oids)
+    pos = pos[valid]
+    hit = pos[oids[pos] == wanted[valid]]
+    return oids[hit], xs[hit], ys[hit]
+
+
+def fetch_points_for_many(source, ts, oids) -> dict:
+    """``points_for`` across several timestamps, batched when possible.
+
+    Stores that implement the optional ``points_for_many`` access path
+    (every built-in store does) answer with one call; any other
+    :class:`TrajectorySource` is served by per-tick fallback fetches.
+    """
+    batched = getattr(source, "points_for_many", None)
+    if batched is not None:
+        return batched(ts, oids)
+    return {int(t): source.points_for(t, oids) for t in ts}

@@ -9,7 +9,10 @@ density-connected (Definition 3 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from .bitset import ObjectInterner, ObjectMask
+from .enginemode import use_scalar
 
 ObjectId = int
 Timestamp = int
@@ -113,17 +116,80 @@ class Convoy:
         return f"Convoy({{{members}}}, [{self.start},{self.end}])"
 
 
+class _MaskCache:
+    """Process-wide cluster -> bitset-mask memo shared by the set algebra.
+
+    The interner only grows (masks stay mutually compatible for the life of
+    the process); the memo dict is cleared when it outgrows its bound, which
+    is always safe because masks are recomputable from the interner.
+    """
+
+    __slots__ = ("_interner", "_masks")
+
+    _MEMO_LIMIT = 1 << 16
+
+    def __init__(self) -> None:
+        self._interner = ObjectInterner()
+        self._masks: Dict[Cluster, ObjectMask] = {}
+
+    def mask(self, objects: Cluster) -> ObjectMask:
+        mask = self._masks.get(objects)
+        if mask is None:
+            if len(self._masks) >= self._MEMO_LIMIT:
+                self._masks.clear()
+            mask = self._interner.mask_of(objects)
+            self._masks[objects] = mask
+        return mask
+
+
+_MASK_CACHE = _MaskCache()
+
+
+def cached_mask(objects: Cluster) -> ObjectMask:
+    """Bitset mask of a cluster, memoised process-wide.
+
+    All masks returned by this function are built on one shared interner,
+    so they are mutually comparable: subset is ``a & b == a``, equality is
+    ``==``.  Used to replace frozenset algebra on hot convoy paths.
+    """
+    return _MASK_CACHE.mask(objects)
+
+
 def update_maximal(result: List[Convoy], candidate: Convoy) -> bool:
     """The paper's ``update()``: subsumption-filtered insertion.
 
     Adds *candidate* to *result* unless it is a sub-convoy of an existing
     entry; removes existing entries that are sub-convoys of *candidate*.
-    Returns ``True`` when the candidate was inserted.
+    Returns ``True`` when the candidate was inserted.  The subset tests run
+    on cached bitset masks (one int ``&`` per pair) except in scalar oracle
+    mode, which keeps the original frozenset comparisons.
     """
+    if use_scalar():
+        for existing in result:
+            if candidate.is_subconvoy_of(existing):
+                return False
+        result[:] = [c for c in result if not c.is_subconvoy_of(candidate)]
+        result.append(candidate)
+        return True
+    mask = _MASK_CACHE.mask
+    cand_mask = mask(candidate.objects)
+    cand_start, cand_end = candidate.interval.start, candidate.interval.end
     for existing in result:
-        if candidate.is_subconvoy_of(existing):
+        if (
+            cand_mask & mask(existing.objects) == cand_mask
+            and existing.interval.start <= cand_start
+            and cand_end <= existing.interval.end
+        ):
             return False
-    result[:] = [c for c in result if not c.is_subconvoy_of(candidate)]
+    result[:] = [
+        c
+        for c in result
+        if not (
+            (kept := mask(c.objects)) & cand_mask == kept
+            and cand_start <= c.interval.start
+            and c.interval.end <= cand_end
+        )
+    ]
     result.append(candidate)
     return True
 

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.source import select_sorted_rows
 from ..core.types import Timestamp
 
 #: A snapshot is (object ids, xs, ys) with aligned rows sorted by object id.
@@ -149,15 +150,25 @@ class Dataset:
 
     def points_for(self, t: Timestamp, oids: Sequence[int]) -> Snapshot:
         """Subset of snapshot ``t`` restricted to the given object ids."""
-        snap_oids, xs, ys = self.snapshot(t)
-        if not len(snap_oids) or not len(oids):
-            return _EMPTY_SNAPSHOT
         wanted = np.asarray(sorted(set(oids)), dtype=np.int64)
-        pos = np.searchsorted(snap_oids, wanted)
-        valid = pos < len(snap_oids)
-        pos, wanted = pos[valid], wanted[valid]
-        hit = pos[snap_oids[pos] == wanted]
-        return snap_oids[hit], xs[hit], ys[hit]
+        return self._points_for_sorted(t, wanted)
+
+    def points_for_many(
+        self, ts: Sequence[Timestamp], oids: Sequence[int]
+    ) -> Dict[int, Snapshot]:
+        """Batched :meth:`points_for`: one call covering several timestamps.
+
+        The wanted-object set is normalised once instead of per tick; the
+        HWMT uses this to fetch a candidate's whole hop window in one call.
+        """
+        wanted = np.asarray(sorted(set(oids)), dtype=np.int64)
+        return {int(t): self._points_for_sorted(int(t), wanted) for t in ts}
+
+    def _points_for_sorted(self, t: Timestamp, wanted: np.ndarray) -> Snapshot:
+        snap_oids, xs, ys = self.snapshot(t)
+        if not len(snap_oids) or not len(wanted):
+            return _EMPTY_SNAPSHOT
+        return select_sorted_rows(snap_oids, xs, ys, wanted)
 
     def restrict_objects(self, oids: Iterable[int]) -> "Dataset":
         """The paper's ``DB |O``: rows of the given objects only."""

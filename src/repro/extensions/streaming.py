@@ -45,6 +45,8 @@ class StreamingConvoyMonitor:
         history: int = 0,
         on_convoy: Optional[Callable[[Convoy], None]] = None,
     ):
+        if history < 0:
+            raise ValueError(f"history must be >= 0, got {history}")
         self.query = query
         self.history = history
         self.on_convoy = on_convoy
@@ -70,22 +72,48 @@ class StreamingConvoyMonitor:
         closes every active candidate (objects were unobserved, hence not
         provably together).
         """
+        oid_arr = np.asarray(oids, dtype=np.int64)
+        xs_arr = np.asarray(xs, dtype=np.float64)
+        ys_arr = np.asarray(ys, dtype=np.float64)
+        clusters = cluster_snapshot(
+            oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
+        )
+        return self.observe_clusters(
+            t, clusters, snapshot=(oid_arr, xs_arr, ys_arr)
+        )
+
+    def observe_clusters(
+        self,
+        t: Timestamp,
+        clusters: Sequence[Cluster],
+        snapshot: Optional[Tuple] = None,
+    ) -> List[Convoy]:
+        """Advance the candidate chain with pre-computed snapshot clusters.
+
+        This is :meth:`observe` minus the clustering step: the sharded
+        ingest service reconciles per-shard clusters into the exact global
+        cluster set and feeds it here.  ``snapshot`` is the raw
+        ``(oids, xs, ys)`` tick, retained (when ``history`` is enabled) so
+        close-time validation has the positions.
+        """
         if self._last_time is not None and t <= self._last_time:
             raise ValueError(f"non-monotonic timestamp {t}")
         gap_emissions: List[Convoy] = []
         if self._last_time is not None and t > self._last_time + 1:
             gap_emissions = self._flush_all(self._last_time)
         self._last_time = t
-        oid_arr = np.asarray(oids, dtype=np.int64)
-        xs_arr = np.asarray(xs, dtype=np.float64)
-        ys_arr = np.asarray(ys, dtype=np.float64)
-        if self.history:
-            self._window.append((t, oid_arr, xs_arr, ys_arr))
+        if self.history and snapshot is not None:
+            oid_arr, xs_arr, ys_arr = snapshot
+            self._window.append(
+                (
+                    t,
+                    np.asarray(oid_arr, dtype=np.int64),
+                    np.asarray(xs_arr, dtype=np.float64),
+                    np.asarray(ys_arr, dtype=np.float64),
+                )
+            )
             while len(self._window) > self.history:
                 self._window.popleft()
-        clusters = cluster_snapshot(
-            oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
-        )
         emitted: List[Convoy] = list(gap_emissions)
         survivors: Dict[Cluster, Timestamp] = {}
         for candidate, since in self._active.items():
@@ -114,6 +142,16 @@ class StreamingConvoyMonitor:
         return emitted
 
     # -- results ---------------------------------------------------------------
+
+    @property
+    def last_time(self) -> Optional[Timestamp]:
+        """Timestamp of the most recent snapshot (``None`` before any)."""
+        return self._last_time
+
+    @property
+    def retained_history(self) -> Tuple:
+        """The validation window as ``(t, oids, xs, ys)`` tuples (read-only)."""
+        return tuple(self._window)
 
     @property
     def closed_convoys(self) -> List[Convoy]:

@@ -1,0 +1,98 @@
+"""On-disk layout of a persistent service index directory.
+
+A serve run leaves behind a self-describing directory::
+
+    <dir>/service.json    # backend kind + the (m, k, eps) query
+    <dir>/convoys.bpt     # backend "bptree"
+    <dir>/convoys.lsm/    # backend "lsmt"
+
+so a later ``repro-convoy query`` (or another process entirely) can
+reopen the index without being told how it was written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Tuple
+
+from ..core.params import ConvoyQuery
+from .backends import open_backend
+from .index import ConvoyIndex
+
+META_FILE = "service.json"
+
+_BACKEND_PATHS = {"bptree": "convoys.bpt", "lsmt": "convoys.lsm"}
+
+
+def backend_path(directory: str, kind: str) -> str:
+    try:
+        return os.path.join(directory, _BACKEND_PATHS[kind])
+    except KeyError:
+        raise ValueError(
+            f"backend {kind!r} is not persistable; choose from "
+            f"{sorted(_BACKEND_PATHS)}"
+        ) from None
+
+
+def create_index(directory: str, kind: str, query: ConvoyQuery) -> ConvoyIndex:
+    """Create (or reopen) a persistent index directory for ``kind``.
+
+    Reopening an existing directory requires the same backend and query
+    parameters — an index must never mix convoys mined under different
+    ``(m, k, eps)`` while its descriptor claims one set.
+    """
+    store_path = backend_path(directory, kind)  # validates kind up front
+    meta_path = os.path.join(directory, META_FILE)
+    if os.path.exists(meta_path):
+        existing = _read_meta(meta_path)
+        wanted = {"m": query.m, "k": query.k, "eps": query.eps}
+        if existing["backend"] != kind or existing["query"] != wanted:
+            raise ValueError(
+                f"{directory} already holds a {existing['backend']} index for "
+                f"query {existing['query']}; refusing to mix it with "
+                f"{kind}/{wanted}"
+            )
+    os.makedirs(directory, exist_ok=True)
+    index = ConvoyIndex(open_backend(kind, store_path))
+    # The descriptor is written last, so a directory with a meta file is
+    # always one whose backend actually opened.
+    meta = {
+        "format": "repro-convoy-service",
+        "backend": kind,
+        "query": {"m": query.m, "k": query.k, "eps": query.eps},
+    }
+    with open(os.path.join(directory, META_FILE), "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return index
+
+
+def _read_meta(meta_path: str) -> dict:
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    if meta.get("format") != "repro-convoy-service":
+        raise ValueError(f"{meta_path} is not a service index descriptor")
+    meta["query"] = {
+        "m": int(meta["query"]["m"]),
+        "k": int(meta["query"]["k"]),
+        "eps": float(meta["query"]["eps"]),
+    }
+    return meta
+
+
+def open_index(directory: str) -> Tuple[ConvoyIndex, ConvoyQuery]:
+    """Reopen a persisted index directory; returns (index, original query)."""
+    meta_path = os.path.join(directory, META_FILE)
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(
+            f"{directory} is not a service index (missing {META_FILE})"
+        )
+    meta = _read_meta(meta_path)
+    kind = meta["backend"]
+    query = ConvoyQuery(
+        m=int(meta["query"]["m"]),
+        k=int(meta["query"]["k"]),
+        eps=float(meta["query"]["eps"]),
+    )
+    return ConvoyIndex(open_backend(kind, backend_path(directory, kind))), query

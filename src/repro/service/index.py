@@ -1,0 +1,288 @@
+"""Persistent, queryable store of closed convoys.
+
+The index is the serving half of the mining/serving split: the ingest
+service appends convoys as they close, queries read them back at
+interactive latency.  Two access paths are materialised both on the
+backend (scannable after a cold reopen) and in memory (hot):
+
+* a **temporal interval index** keyed by convoy end time — an overlap
+  query starts its scan at the first convoy ending inside the range;
+* an **object inverted index** mapping object id to convoy history,
+  backed in memory by per-convoy bitset masks (the PR-1 algebra), so
+  membership and contains-all queries are single ``&`` operations.
+
+Insertion keeps the store *maximal* (the paper's ``update()``): a convoy
+subsumed by a stored one is dropped, stored convoys subsumed by a new
+arrival are evicted — so a full-range query returns exactly the maximal
+convoy set the batch miner would.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.bitset import ObjectInterner, ObjectMask
+from ..core.types import Convoy, sort_convoys
+from .backends import MemoryResultBackend, ResultBackend
+from .records import (
+    FIELD_LIMIT,
+    TAG_BBOX,
+    TAG_HEAD,
+    TAG_MEMBER,
+    TAG_OBJ,
+    TAG_TIME,
+    decode_pair,
+    decode_result_key,
+    decode_xy,
+    encode_pair,
+    encode_xy,
+    member_chunks,
+    result_key,
+    tag_range,
+    unpack_members,
+)
+
+BBox = Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
+
+
+@dataclass(frozen=True)
+class IndexedConvoy:
+    """One stored convoy plus its serving metadata."""
+
+    convoy_id: int
+    convoy: Convoy
+    bbox: Optional[BBox]
+
+
+class ConvoyIndex:
+    """Maximality-preserving convoy store over a :class:`ResultBackend`.
+
+    ``version`` increments on every mutation; the query engine keys its
+    result cache on it, so a cache entry can never outlive the data it
+    was computed from.
+    """
+
+    def __init__(self, backend: Optional[ResultBackend] = None):
+        self._backend = backend if backend is not None else MemoryResultBackend()
+        self._records: Dict[int, IndexedConvoy] = {}
+        self._interner = ObjectInterner()
+        self._masks: Dict[int, ObjectMask] = {}
+        self._by_object: Dict[int, Set[int]] = {}
+        self._by_end: List[Tuple[int, int]] = []  # (end, cid), end-sorted
+        self._next_id = 0
+        self.version = 0
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        """Rebuild the hot state from the backend (cold reopen)."""
+        heads: Dict[int, Tuple[int, int]] = {}
+        bboxes: Dict[int, Dict[int, Tuple[float, float]]] = {}
+        members: Dict[int, List[bytes]] = {}
+        for key, value in self._backend.range(*tag_range(TAG_HEAD)):
+            _, cid, _ = decode_result_key(key)
+            heads[cid] = decode_pair(value)
+        for key, value in self._backend.range(*tag_range(TAG_BBOX)):
+            _, cid, row = decode_result_key(key)
+            bboxes.setdefault(cid, {})[row] = decode_xy(value)
+        for key, value in self._backend.range(*tag_range(TAG_MEMBER)):
+            _, cid, _chunk = decode_result_key(key)
+            members.setdefault(cid, []).append(value)
+        for cid, (start, end) in sorted(heads.items()):
+            objects = unpack_members(iter(members.get(cid, [])))
+            bbox: Optional[BBox] = None
+            corner = bboxes.get(cid)
+            if corner and 0 in corner and 1 in corner:
+                bbox = (*corner[0], *corner[1])
+            self._install(cid, Convoy.of(objects, start, end), bbox)
+        self._next_id = max(heads) + 1 if heads else 0
+
+    def flush(self) -> None:
+        self._backend.flush()
+
+    def close(self) -> None:
+        self._backend.close()
+
+    @property
+    def backend(self) -> ResultBackend:
+        return self._backend
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, convoy: Convoy, bbox: Optional[BBox] = None) -> Optional[int]:
+        """Insert with ``update_maximal`` semantics; returns the new id.
+
+        Returns ``None`` (and stores nothing) when the convoy is a
+        sub-convoy of an already stored one; stored convoys that are
+        sub-convoys of the new arrival are evicted.
+
+        Timestamps and object ids must be non-negative (the same key
+        domain every on-disk store in this library uses); the domain is
+        checked *before* any row is written so a rejected convoy can
+        never leave partial rows behind.
+        """
+        if convoy.start < 0 or convoy.end >= FIELD_LIMIT:
+            raise ValueError(
+                f"timestamps outside [0, 2^48) not indexable: {convoy}"
+            )
+        for oid in convoy.objects:
+            if not 0 <= oid < FIELD_LIMIT:
+                raise ValueError(f"object id {oid} outside [0, 2^48): {convoy}")
+        mask = self._interner.mask_of(convoy.objects)
+        # Subsumption in either direction requires sharing every member of
+        # the smaller set, so only convoys sharing at least one member with
+        # the candidate can be involved — the inverted index narrows the
+        # scan from all records to the candidate's neighborhood.
+        neighborhood: Set[int] = set()
+        for oid in convoy.objects:
+            neighborhood.update(self._by_object.get(oid, ()))
+        doomed: List[int] = []
+        for cid in neighborhood:
+            record = self._records[cid]
+            other = self._masks[cid]
+            stored = record.convoy
+            if (
+                mask & other == mask
+                and stored.start <= convoy.start
+                and convoy.end <= stored.end
+            ):
+                return None
+            if (
+                mask & other == other
+                and convoy.start <= stored.start
+                and stored.end <= convoy.end
+            ):
+                doomed.append(cid)
+        for cid in doomed:
+            self._evict(cid)
+        cid = self._next_id
+        self._next_id += 1
+        self._write(cid, convoy, bbox)
+        self._install(cid, convoy, bbox)
+        self.version += 1
+        return cid
+
+    def add_all(
+        self, convoys: Sequence[Convoy], bboxes: Optional[Sequence[Optional[BBox]]] = None
+    ) -> List[Optional[int]]:
+        if bboxes is None:
+            bboxes = [None] * len(convoys)
+        return [self.add(c, b) for c, b in zip(convoys, bboxes)]
+
+    def _write(self, cid: int, convoy: Convoy, bbox: Optional[BBox]) -> None:
+        put = self._backend.put
+        span = encode_pair(convoy.start, convoy.end)
+        put(result_key(TAG_HEAD, cid, 0), span)
+        for chunk, value in member_chunks(tuple(sorted(convoy.objects))):
+            put(result_key(TAG_MEMBER, cid, chunk), value)
+        if bbox is not None:
+            put(result_key(TAG_BBOX, cid, 0), encode_xy(bbox[0], bbox[1]))
+            put(result_key(TAG_BBOX, cid, 1), encode_xy(bbox[2], bbox[3]))
+        put(result_key(TAG_TIME, convoy.end, cid), span)
+        for oid in convoy.objects:
+            put(result_key(TAG_OBJ, oid, cid), span)
+
+    def _evict(self, cid: int) -> None:
+        record = self._records.pop(cid)
+        convoy = record.convoy
+        self._masks.pop(cid, None)
+        self._by_end.pop(bisect_left(self._by_end, (convoy.end, cid)))
+        delete = self._backend.delete
+        delete(result_key(TAG_HEAD, cid, 0))
+        n_chunks = (len(convoy.objects) + 1) // 2
+        for chunk in range(n_chunks):
+            delete(result_key(TAG_MEMBER, cid, chunk))
+        if record.bbox is not None:
+            delete(result_key(TAG_BBOX, cid, 0))
+            delete(result_key(TAG_BBOX, cid, 1))
+        delete(result_key(TAG_TIME, convoy.end, cid))
+        for oid in convoy.objects:
+            delete(result_key(TAG_OBJ, oid, cid))
+            ids = self._by_object.get(oid)
+            if ids is not None:
+                ids.discard(cid)
+                if not ids:
+                    del self._by_object[oid]
+        self.version += 1
+
+    def _install(self, cid: int, convoy: Convoy, bbox: Optional[BBox]) -> None:
+        self._records[cid] = IndexedConvoy(cid, convoy, bbox)
+        self._masks[cid] = self._interner.mask_of(convoy.objects)
+        insort(self._by_end, (convoy.end, cid))
+        for oid in convoy.objects:
+            self._by_object.setdefault(oid, set()).add(cid)
+
+    # -- hot query paths -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, cid: int) -> Optional[IndexedConvoy]:
+        return self._records.get(cid)
+
+    def convoys(self) -> List[Convoy]:
+        """Every stored convoy (the maximal set), deterministically ordered."""
+        return sort_convoys(r.convoy for r in self._records.values())
+
+    def ids_overlapping(self, start: int, end: int) -> List[int]:
+        """Convoys whose lifespan intersects ``[start, end]``.
+
+        Mirrors the persistent temporal index: bisect to the first convoy
+        ending at or after ``start``, then filter by start time.
+        """
+        first = bisect_left(self._by_end, (start, -1))
+        return [
+            cid
+            for _, cid in self._by_end[first:]
+            if self._records[cid].convoy.start <= end
+        ]
+
+    def ids_of_object(self, oid: int) -> List[int]:
+        return sorted(self._by_object.get(oid, ()))
+
+    def ids_containing(self, oids: Sequence[int]) -> List[int]:
+        """Convoys whose member set contains *all* the given objects."""
+        wanted = 0
+        for oid in oids:
+            bit = self._interner.bit_if_known(oid)
+            if bit is None:  # never stored => contained in no convoy
+                return []
+            wanted |= 1 << bit
+        return [
+            cid for cid, mask in self._masks.items() if wanted & mask == wanted
+        ]
+
+    def ids_in_region(self, region: BBox) -> List[int]:
+        """Convoys whose recorded bounding box overlaps the region."""
+        xmin, ymin, xmax, ymax = region
+        return [
+            cid
+            for cid, record in self._records.items()
+            if record.bbox is not None
+            and record.bbox[0] <= xmax
+            and xmin <= record.bbox[2]
+            and record.bbox[1] <= ymax
+            and ymin <= record.bbox[3]
+        ]
+
+    # -- cold (backend-scanning) paths, exercised by the persistence tests ---
+
+    def scan_overlapping(self, start: int, end: int) -> List[int]:
+        """Temporal-index scan on the backend: end >= start, then filter."""
+        ids = []
+        for key, value in self._backend.range(*tag_range(TAG_TIME, a_lo=start)):
+            _, _end, cid = decode_result_key(key)
+            convoy_start, _ = decode_pair(value)
+            if convoy_start <= end:
+                ids.append(cid)
+        return ids
+
+    def scan_object(self, oid: int) -> List[int]:
+        """Object-index scan on the backend."""
+        return sorted(
+            decode_result_key(key)[2]
+            for key, _ in self._backend.range(*tag_range(TAG_OBJ, oid, oid))
+        )

@@ -1,0 +1,229 @@
+"""Sharded convoy ingestion: the write half of the serving layer.
+
+A :class:`ConvoyIngestService` accepts an unbounded snapshot feed and
+maintains three tiers of state:
+
+1. **per-shard monitors** — one :class:`StreamingConvoyMonitor` per grid
+   cell, fed the shard-local cluster fragments.  They answer cheap
+   shard-scoped questions ("what is travelling together in my district
+   right now?") without touching the rest of the fleet;
+2. **global candidate chain** — shard fragments are reconciled into the
+   exact global cluster set (see :mod:`repro.service.reconcile`, the
+   DCM-style border merge) and drive one authoritative monitor whose
+   closed convoys match batch mining;
+3. **persistent index** — every closed convoy is appended to a
+   :class:`~repro.service.index.ConvoyIndex` together with its bounding
+   box over the retained history, ready for queries.
+
+With ``history`` covering a convoy's lifetime the emitted convoys are
+validated to full connectivity, which makes the query engine's answers
+identical to re-mining with k/2-hop (property-tested in
+``benchmarks/test_serve_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..clustering import cluster_snapshot_with_cores
+from ..core.params import ConvoyQuery
+from ..core.types import Convoy, Timestamp
+from ..data.dataset import Dataset
+from ..extensions.streaming import StreamingConvoyMonitor
+from .index import BBox, ConvoyIndex
+from .reconcile import Fragment, merge_fragments
+from .sharding import GridSharder
+
+
+@dataclass
+class IngestStats:
+    """Feed-side counters, accumulated per service instance."""
+
+    ticks: int = 0
+    points: int = 0
+    halo_copies: int = 0
+    clusters: int = 0
+    border_merges: int = 0
+    closed_convoys: int = 0
+    indexed_convoys: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"ticks {self.ticks}  points {self.points}  "
+            f"halo copies {self.halo_copies}  clusters {self.clusters}  "
+            f"border merges {self.border_merges}  "
+            f"closed {self.closed_convoys}  indexed {self.indexed_convoys}"
+        )
+
+
+class ConvoyIngestService:
+    """Spatially sharded online convoy discovery feeding a query index.
+
+    Parameters
+    ----------
+    query:
+        The ``(m, k, eps)`` convoy query the service monitors.
+    sharder:
+        Spatial router; ``None`` runs a single global shard.
+    index:
+        Destination for closed convoys; ``None`` creates an in-memory one.
+    history:
+        Snapshots retained for close-time validation and bounding boxes.
+        ``0`` disables both (emissions are then partially connected, like
+        CMC/PCCD).
+    on_convoy:
+        Callback invoked with each convoy after it is indexed.
+    """
+
+    def __init__(
+        self,
+        query: ConvoyQuery,
+        sharder: Optional[GridSharder] = None,
+        index: Optional[ConvoyIndex] = None,
+        history: int = 0,
+        on_convoy: Optional[Callable[[Convoy], None]] = None,
+    ):
+        self.query = query
+        self.sharder = sharder
+        self.index = index if index is not None else ConvoyIndex()
+        self.on_convoy = on_convoy
+        self.stats = IngestStats()
+        self._n_shards = sharder.n_shards if sharder is not None else 1
+        # With one shard the global chain IS the shard monitor; running a
+        # second identical candidate chain would double the work per tick.
+        self._shard_monitors = (
+            [StreamingConvoyMonitor(query) for _ in range(self._n_shards)]
+            if self._n_shards > 1
+            else []
+        )
+        self._chain = StreamingConvoyMonitor(query, history=history)
+
+    # -- feed ----------------------------------------------------------------
+
+    def observe(
+        self,
+        t: Timestamp,
+        oids: Sequence[int],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> List[Convoy]:
+        """Ingest one snapshot; returns the convoys it closed (indexed)."""
+        oid_arr = np.asarray(oids, dtype=np.int64)
+        xs_arr = np.asarray(xs, dtype=np.float64)
+        ys_arr = np.asarray(ys, dtype=np.float64)
+        self.stats.ticks += 1
+        self.stats.points += len(oid_arr)
+
+        fragments: List[Fragment] = []
+        if not self._shard_monitors:  # single shard: cluster directly
+            fragments = cluster_snapshot_with_cores(
+                oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
+            )
+        else:
+            for monitor, view in zip(
+                self._shard_monitors, self.sharder.route(oid_arr, xs_arr, ys_arr)
+            ):
+                pairs = (
+                    cluster_snapshot_with_cores(
+                        view.oids, view.xs, view.ys, self.query.eps, self.query.m
+                    )
+                    if len(view.oids)
+                    else []
+                )
+                monitor.observe_clusters(t, [members for members, _ in pairs])
+                self.stats.halo_copies += view.halo_count
+                fragments.extend(pairs)
+
+        clusters, merges = merge_fragments(fragments)
+        self.stats.clusters += len(clusters)
+        self.stats.border_merges += merges
+        closed = self._chain.observe_clusters(
+            t, clusters, snapshot=(oid_arr, xs_arr, ys_arr)
+        )
+        self._publish(closed)
+        return closed
+
+    def finish(self) -> List[Convoy]:
+        """End of feed: close every open candidate everywhere."""
+        for monitor in self._shard_monitors:
+            monitor.finish()
+        closed = self._chain.finish()
+        self._publish(closed)
+        self.index.flush()
+        return closed
+
+    def ingest(self, dataset: Dataset) -> List[Convoy]:
+        """Replay a stored dataset through the service (tests/benchmarks)."""
+        for t in dataset.timestamps().tolist():
+            oids, xs, ys = dataset.snapshot(t)
+            self.observe(t, oids, xs, ys)
+        self.finish()
+        return self.closed_convoys
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def last_time(self) -> Optional[Timestamp]:
+        return self._chain.last_time
+
+    @property
+    def closed_convoys(self) -> List[Convoy]:
+        """All convoys closed so far, maximal-filtered."""
+        return self._chain.closed_convoys
+
+    def open_candidates(self, shard: Optional[int] = None) -> List[Convoy]:
+        """Currently-open candidates: global, or scoped to one shard."""
+        if shard is None:
+            return self._chain.open_candidates()
+        if not self._shard_monitors:  # single shard == the global chain
+            if shard != 0:
+                raise IndexError(f"no shard {shard} in a 1-shard service")
+            return self._chain.open_candidates()
+        return self._shard_monitors[shard].open_candidates()
+
+    # -- internals ------------------------------------------------------------
+
+    def _publish(self, convoys: List[Convoy]) -> None:
+        for convoy in convoys:
+            self.stats.closed_convoys += 1
+            if self.index.add(convoy, bbox=self._bbox_of(convoy)) is not None:
+                self.stats.indexed_convoys += 1
+            if self.on_convoy is not None:
+                self.on_convoy(convoy)
+
+    def _bbox_of(self, convoy: Convoy) -> Optional[BBox]:
+        """Bounding box of the members over the retained history.
+
+        Covers the part of the convoy's lifetime still inside the history
+        window; ``None`` when no covered tick holds a member position.
+        """
+        window = self._chain.retained_history
+        if not window:
+            return None
+        members = np.fromiter(sorted(convoy.objects), dtype=np.int64)
+        xmin = ymin = np.inf
+        xmax = ymax = -np.inf
+        seen = False
+        for t, oids, xs, ys in window:  # ascending by t
+            if t > convoy.end:
+                break
+            if t < convoy.start or not len(oids):
+                continue
+            mask = np.isin(oids, members)
+            if not mask.any():
+                continue
+            seen = True
+            xmin = min(xmin, float(xs[mask].min()))
+            xmax = max(xmax, float(xs[mask].max()))
+            ymin = min(ymin, float(ys[mask].min()))
+            ymax = max(ymax, float(ys[mask].max()))
+        if not seen:
+            return None
+        return (xmin, ymin, xmax, ymax)

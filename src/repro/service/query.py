@@ -1,0 +1,121 @@
+"""Convoy query engine: the read half of the serving layer.
+
+Answers the questions the batch miner cannot without re-mining:
+
+* ``time_range(t1, t2)`` — convoys whose lifetime overlaps an interval;
+* ``object_history(oid)`` / ``containing(oids)`` — membership queries on
+  the inverted index (bitset-mask subset tests);
+* ``region(xmin, ymin, xmax, ymax)`` — convoys whose bounding box
+  overlaps a rectangle;
+* ``open_candidates()`` — the still-open candidates of a live ingest.
+
+Results are memoised in an LRU cache keyed on ``(query, index version)``:
+a write to the index bumps the version, so stale entries simply stop
+being reachable and age out of the LRU — no invalidation scan needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.types import Convoy, sort_convoys
+from .index import BBox, ConvoyIndex
+from .ingest import ConvoyIngestService
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ConvoyQueryEngine:
+    """Cached read API over a :class:`ConvoyIndex` (and optional live feed)."""
+
+    def __init__(
+        self,
+        index: ConvoyIndex,
+        ingest: Optional[ConvoyIngestService] = None,
+        cache_size: int = 4096,
+    ):
+        self._index = index
+        self._ingest = ingest
+        self._cache: "OrderedDict[Tuple, Tuple[Convoy, ...]]" = OrderedDict()
+        self._cache_size = cache_size
+        self.cache_stats = CacheStats()
+
+    # -- queries -------------------------------------------------------------
+
+    def time_range(self, start: int, end: int) -> List[Convoy]:
+        """Maximal convoys whose lifespan overlaps ``[start, end]``."""
+        if start > end:
+            raise ValueError(f"empty query interval [{start}, {end}]")
+        return self._cached(
+            ("time", start, end),
+            lambda: self._materialise(self._index.ids_overlapping(start, end)),
+        )
+
+    def object_history(self, oid: int) -> List[Convoy]:
+        """Every convoy the object has ever travelled in."""
+        return self._cached(
+            ("object", oid),
+            lambda: self._materialise(self._index.ids_of_object(oid)),
+        )
+
+    def containing(self, oids: Sequence[int]) -> List[Convoy]:
+        """Convoys containing *all* the given objects (mask subset test)."""
+        key = tuple(sorted(set(int(o) for o in oids)))
+        return self._cached(
+            ("containing", key),
+            lambda: self._materialise(self._index.ids_containing(key)),
+        )
+
+    def region(self, region: BBox) -> List[Convoy]:
+        """Convoys whose recorded bounding box overlaps the rectangle."""
+        xmin, ymin, xmax, ymax = region
+        if xmin > xmax or ymin > ymax:
+            raise ValueError(f"degenerate region {region}")
+        return self._cached(
+            ("region", region),
+            lambda: self._materialise(self._index.ids_in_region(region)),
+        )
+
+    def open_candidates(self, shard: Optional[int] = None) -> List[Convoy]:
+        """Still-open candidates of the live ingest (never cached)."""
+        if self._ingest is None:
+            return []
+        return sort_convoys(self._ingest.open_candidates(shard))
+
+    def convoy_count(self) -> int:
+        return len(self._index)
+
+    # -- cache ----------------------------------------------------------------
+
+    @property
+    def index_version(self) -> int:
+        return self._index.version
+
+    def _cached(self, key: Tuple, compute: Callable[[], List[Convoy]]) -> List[Convoy]:
+        versioned = (self._index.version,) + key
+        cached = self._cache.get(versioned)
+        if cached is not None:
+            self._cache.move_to_end(versioned)
+            self.cache_stats.hits += 1
+            return list(cached)  # callers may mutate their copy freely
+        self.cache_stats.misses += 1
+        result = compute()
+        self._cache[versioned] = tuple(result)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return result
+
+    def _materialise(self, ids: Sequence[int]) -> List[Convoy]:
+        records = (self._index.get(cid) for cid in ids)
+        return sort_convoys(r.convoy for r in records if r is not None)

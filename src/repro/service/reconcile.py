@@ -1,0 +1,72 @@
+"""Exact cross-shard cluster reconciliation.
+
+Each shard clusters its view (owned cell + eps halo) independently; a
+density-connected component that straddles a cell border comes back as
+several overlapping fragments.  Merging them exactly relies on two facts
+about the halo geometry (see :mod:`repro.service.sharding`):
+
+* **local core implies global core** — a shard view only ever sees a
+  subset of the real points, so a neighborhood count can be under- but
+  never over-estimated; and every point's *owner* sees its neighborhood
+  in full, so the union of local core sets is exactly the global core set;
+* **every core edge is witnessed** — for density-adjacent cores ``p`` and
+  ``q``, the owner of ``p`` sees both, so its fragment contains both.
+
+Fragments are therefore glued by union-find over shared *globally core*
+members: shared border points must NOT glue (Definition 2 lets distinct
+clusters overlap on border points), and shared cores always must.  The
+result provably equals ``cluster_snapshot`` on the unsharded snapshot —
+``tests/test_service_sharding.py`` checks the property on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.types import Cluster
+
+#: A shard-local cluster: ``(members, locally-core members)``.
+Fragment = Tuple[Cluster, Cluster]
+
+
+def merge_fragments(fragments: Sequence[Fragment]) -> Tuple[List[Cluster], int]:
+    """Glue shard-local cluster fragments into exact global clusters.
+
+    Returns ``(clusters, border_merges)`` where ``border_merges`` counts
+    the union operations that actually joined two fragments — i.e. how
+    many convoy-relevant clusters straddled a shard border this tick.
+    Clusters are returned sorted by smallest member id, matching
+    :func:`repro.clustering.cluster_snapshot`.
+    """
+    if not fragments:
+        return [], 0
+    global_cores: Set[int] = set()
+    for _, cores in fragments:
+        global_cores.update(cores)
+
+    parent = list(range(len(fragments)))
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
+        return root
+
+    merges = 0
+    anchor_owner: Dict[int, int] = {}
+    for idx, (members, _) in enumerate(fragments):
+        for oid in members & global_cores:
+            owner = anchor_owner.setdefault(oid, idx)
+            if owner != idx:
+                a, b = find(owner), find(idx)
+                if a != b:
+                    parent[b] = a
+                    merges += 1
+
+    grouped: Dict[int, Set[int]] = {}
+    for idx, (members, _) in enumerate(fragments):
+        grouped.setdefault(find(idx), set()).update(members)
+    clusters = [frozenset(members) for members in grouped.values()]
+    return sorted(set(clusters), key=min), merges

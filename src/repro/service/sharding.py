@@ -1,0 +1,162 @@
+"""Spatial sharding of an unbounded snapshot feed.
+
+The ingest service splits every snapshot across a uniform grid of shards,
+mirroring the spatial partitioning the paper's distributed baselines
+(SPARE, DCM) imply.  Each shard *owns* one grid cell and additionally
+*sees* a halo of width ``eps`` around it, which is what makes downstream
+cluster reconciliation exact:
+
+* a point inside the cell has its entire eps-neighborhood inside the
+  cell + halo, so its DBSCAN core status is computed exactly by its owner;
+* every density-reachability edge that crosses a cell border is witnessed
+  in full by the owner of its core endpoint.
+
+The halo test uses the eps-expanded cell rectangle (an L-infinity bound),
+a superset of the Euclidean eps-halo — extra visibility never hurts
+correctness, it only duplicates a few more border points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Bounds = Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """One shard's slice of a snapshot: owned points plus halo copies."""
+
+    shard: int
+    oids: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    owned: np.ndarray  # bool per row: True when this shard owns the point
+
+    @property
+    def halo_count(self) -> int:
+        return int(len(self.owned) - self.owned.sum())
+
+
+class GridSharder:
+    """Route snapshot points onto an ``nx x ny`` grid of spatial shards.
+
+    Points outside ``bounds`` clamp to the edge cells, so an unbounded feed
+    (objects wandering off the configured map) still routes deterministically.
+    """
+
+    def __init__(self, nx: int, ny: int, bounds: Bounds, eps: float):
+        if nx < 1 or ny < 1:
+            raise ValueError(f"grid must be at least 1x1, got {nx}x{ny}")
+        xmin, ymin, xmax, ymax = bounds
+        if xmin >= xmax or ymin >= ymax:
+            raise ValueError(f"degenerate bounds {bounds}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.nx = nx
+        self.ny = ny
+        self.bounds = bounds
+        self.eps = float(eps)
+        self._cell_w = (xmax - xmin) / nx
+        self._cell_h = (ymax - ymin) / ny
+
+    @staticmethod
+    def for_dataset(dataset, eps: float, nx: int, ny: int) -> "GridSharder":
+        """Sharder fitted to a dataset's spatial extent (replay helper)."""
+        xmin, xmax = float(dataset.xs.min()), float(dataset.xs.max())
+        ymin, ymax = float(dataset.ys.min()), float(dataset.ys.max())
+        pad = max(eps, 1.0)  # avoid degenerate zero-extent boxes
+        return GridSharder(
+            nx, ny, (xmin - pad, ymin - pad, xmax + pad, ymax + pad), eps
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return self.nx * self.ny
+
+    def cell_bounds(self, shard: int) -> Bounds:
+        """The owned rectangle of one shard (halo not included).
+
+        Cells on the grid boundary extend to infinity on their outer
+        sides: ownership is defined by clamping, so a point wandering off
+        the configured map is genuinely *inside* its edge cell — which
+        keeps its core status exactly computable by its owner.
+        """
+        cx, cy = shard % self.nx, shard // self.nx
+        xmin, ymin, _, _ = self.bounds
+        return (
+            xmin + cx * self._cell_w if cx > 0 else -np.inf,
+            ymin + cy * self._cell_h if cy > 0 else -np.inf,
+            xmin + (cx + 1) * self._cell_w if cx < self.nx - 1 else np.inf,
+            ymin + (cy + 1) * self._cell_h if cy < self.ny - 1 else np.inf,
+        )
+
+    def owner_of(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Owning shard id per point (clamped to the grid)."""
+        xmin, ymin, _, _ = self.bounds
+        cx = np.clip(
+            ((np.asarray(xs) - xmin) // self._cell_w).astype(np.int64),
+            0,
+            self.nx - 1,
+        )
+        cy = np.clip(
+            ((np.asarray(ys) - ymin) // self._cell_h).astype(np.int64),
+            0,
+            self.ny - 1,
+        )
+        return cy * self.nx + cx
+
+    def route(
+        self,
+        oids: Sequence[int],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> List[ShardView]:
+        """Split one snapshot into per-shard views (owned + halo rows).
+
+        Every point appears in exactly one view as owned; it additionally
+        appears as a halo copy in every shard whose eps-expanded cell
+        contains it.  Views keep the input row order, so oid-sorted input
+        stays oid-sorted per shard.
+        """
+        oid_arr = np.asarray(oids, dtype=np.int64)
+        xs_arr = np.asarray(xs, dtype=np.float64)
+        ys_arr = np.asarray(ys, dtype=np.float64)
+        owner = (
+            self.owner_of(xs_arr, ys_arr)
+            if len(oid_arr)
+            else np.empty(0, dtype=np.int64)
+        )
+        views: List[ShardView] = []
+        eps = self.eps
+        for shard in range(self.n_shards):
+            if not len(oid_arr):
+                empty = np.empty(0, dtype=np.int64)
+                views.append(
+                    ShardView(
+                        shard,
+                        empty,
+                        np.empty(0, dtype=np.float64),
+                        np.empty(0, dtype=np.float64),
+                        np.empty(0, dtype=bool),
+                    )
+                )
+                continue
+            cxmin, cymin, cxmax, cymax = self.cell_bounds(shard)
+            owned = owner == shard
+            visible = owned | (
+                (xs_arr >= cxmin - eps)
+                & (xs_arr <= cxmax + eps)
+                & (ys_arr >= cymin - eps)
+                & (ys_arr <= cymax + eps)
+            )
+            idx = np.flatnonzero(visible)
+            views.append(
+                ShardView(
+                    shard, oid_arr[idx], xs_arr[idx], ys_arr[idx], owned[idx]
+                )
+            )
+        return views

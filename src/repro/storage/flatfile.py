@@ -82,5 +82,9 @@ class FlatFileStore:
         self.stats.point_queries += 1
         return self._load().points_for(t, oids)
 
+    def points_for_many(self, ts: Sequence[int], oids: Sequence[int]):
+        self.stats.point_queries += len(ts)
+        return self._load().points_for_many(ts, oids)
+
     def close(self) -> None:
         self._cache = None

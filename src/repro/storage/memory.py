@@ -39,5 +39,9 @@ class MemoryStore:
         self.stats.point_queries += 1
         return self._dataset.points_for(t, oids)
 
+    def points_for_many(self, ts: Sequence[int], oids: Sequence[int]):
+        self.stats.point_queries += len(ts)
+        return self._dataset.points_for_many(ts, oids)
+
     def close(self) -> None:  # symmetry with the disk stores
         pass

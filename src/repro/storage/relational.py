@@ -89,10 +89,22 @@ class RelationalStore:
         )
 
     def points_for(self, t: int, oids: Sequence[int]) -> Snapshot:
+        return self._points_for_sorted(t, sorted(set(int(o) for o in oids)))
+
+    def points_for_many(self, ts: Sequence[int], oids: Sequence[int]):
+        """Batched keyed access: sort/dedupe the object set once per window.
+
+        Keys are visited in ``(t, oid)`` order, so consecutive lookups land
+        on the same few leaves and hit the decoded-node cache.
+        """
+        wanted = sorted(set(int(o) for o in oids))
+        return {int(t): self._points_for_sorted(int(t), wanted) for t in ts}
+
+    def _points_for_sorted(self, t: int, wanted: Sequence[int]) -> Snapshot:
         found_oids: List[int] = []
         xs: List[float] = []
         ys: List[float] = []
-        for oid in sorted(set(int(o) for o in oids)):
+        for oid in wanted:
             value = self._tree.get(encode_key(t, oid))
             if value is not None:
                 x, y = decode_value(value)

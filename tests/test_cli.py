@@ -56,6 +56,69 @@ class TestMine:
         assert "pruning" in out and "store I/O" in out
 
 
+class TestServeQuery:
+    @pytest.fixture()
+    def index_dir(self, planted_csv, tmp_path, capsys):
+        path = str(tmp_path / "idx")
+        assert main(["serve", planted_csv, "-m", "3", "-k", "10", "--eps",
+                     "10.0", "--index-dir", path, "--shards", "2x2"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest:" in out and "persisted" in out
+        return path
+
+    @pytest.mark.parametrize("backend", ["bptree", "lsmt"])
+    def test_serve_matches_mine(self, planted_csv, tmp_path, backend, capsys):
+        path = str(tmp_path / f"idx-{backend}")
+        assert main(["serve", planted_csv, "-m", "3", "-k", "10", "--eps",
+                     "10.0", "--index-dir", path, "--backend", backend]) == 0
+        served = [line for line in capsys.readouterr().out.splitlines()
+                  if line.startswith("[")]
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0"]) == 0
+        mined = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("[")]
+        assert sorted(served) == sorted(mined)
+
+    def test_query_time_range(self, index_dir, capsys):
+        assert main(["query", index_dir, "--time", "0:1000"]) == 0
+        out = capsys.readouterr().out
+        assert "convoy(s)" in out and out.count("[") >= 1
+
+    def test_query_object_and_containing(self, index_dir, capsys):
+        assert main(["query", index_dir, "--time", "0:1000"]) == 0
+        line = [l for l in capsys.readouterr().out.splitlines()
+                if l.startswith("[")][0]
+        oid = line.split("{")[1].split(",")[0].rstrip("}")
+        assert main(["query", index_dir, "--object", oid]) == 0
+        assert line in capsys.readouterr().out
+        assert main(["query", index_dir, "--containing", oid]) == 0
+        assert line in capsys.readouterr().out
+
+    def test_query_region(self, index_dir, capsys):
+        assert main(["query", index_dir, "--region=-1e9,-1e9,1e9,1e9"]) == 0
+        assert "convoy(s)" in capsys.readouterr().out
+
+    def test_serve_in_memory_only(self, planted_csv, capsys):
+        assert main(["serve", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0", "--shards", "1x1"]) == 0
+        out = capsys.readouterr().out
+        assert "persisted" not in out
+
+    @pytest.mark.parametrize("spec", ["two-by-two", "0x2", "2x-1"])
+    def test_bad_shard_spec_rejected(self, planted_csv, spec, capsys):
+        assert main(["serve", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0", "--shards", spec]) == 2
+
+    def test_bad_query_args_rejected(self, index_dir, capsys):
+        assert main(["query", index_dir, "--time", "10"]) == 2
+        assert main(["query", index_dir, "--region=1,2,3"]) == 2
+        assert main(["query", index_dir, "--containing", "1,x"]) == 2
+
+    def test_query_missing_index_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["query", str(tmp_path / "nope"), "--time", "0:1"])
+
+
 class TestInfo:
     def test_info_summarises(self, planted_csv, capsys):
         assert main(["info", planted_csv]) == 0

@@ -11,7 +11,8 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "carpool_detection.py", "storage_backends.py"],
+    ["quickstart.py", "carpool_detection.py", "storage_backends.py",
+     "convoy_service.py"],
 )
 def test_example_runs(script):
     result = subprocess.run(

@@ -1,0 +1,108 @@
+"""Query engine: correctness against brute force, and LRU cache keying."""
+
+import pytest
+
+from repro.core import Convoy, ConvoyQuery, sort_convoys
+from repro.service import ConvoyIndex, ConvoyIngestService, ConvoyQueryEngine
+
+
+@pytest.fixture()
+def populated():
+    index = ConvoyIndex()
+    convoys = [
+        (Convoy.of([1, 2, 3], 0, 9), (0.0, 0.0, 5.0, 5.0)),
+        (Convoy.of([4, 5], 5, 20), (10.0, 10.0, 20.0, 20.0)),
+        (Convoy.of([1, 6, 7], 15, 30), (2.0, 8.0, 4.0, 12.0)),
+    ]
+    for convoy, bbox in convoys:
+        index.add(convoy, bbox=bbox)
+    return index, [c for c, _ in convoys]
+
+
+class TestQueries:
+    def test_time_range_brute_force(self, populated):
+        index, convoys = populated
+        engine = ConvoyQueryEngine(index)
+        for start, end in [(0, 100), (0, 4), (10, 14), (21, 29), (31, 40)]:
+            expect = sort_convoys(
+                c for c in convoys if c.start <= end and start <= c.end
+            )
+            assert engine.time_range(start, end) == expect
+
+    def test_time_range_rejects_empty_interval(self, populated):
+        engine = ConvoyQueryEngine(populated[0])
+        with pytest.raises(ValueError):
+            engine.time_range(5, 4)
+
+    def test_object_history(self, populated):
+        index, convoys = populated
+        engine = ConvoyQueryEngine(index)
+        assert engine.object_history(1) == sort_convoys(
+            c for c in convoys if 1 in c.objects
+        )
+        assert engine.object_history(99) == []
+
+    def test_containing(self, populated):
+        engine = ConvoyQueryEngine(populated[0])
+        assert engine.containing([1, 2]) == [Convoy.of([1, 2, 3], 0, 9)]
+        assert engine.containing([1]) == engine.object_history(1)
+        assert engine.containing([1, 4]) == []
+
+    def test_region(self, populated):
+        engine = ConvoyQueryEngine(populated[0])
+        hits = engine.region((3.0, 3.0, 11.0, 11.0))
+        assert hits == sort_convoys(
+            [Convoy.of([1, 2, 3], 0, 9), Convoy.of([4, 5], 5, 20),
+             Convoy.of([1, 6, 7], 15, 30)]
+        )
+        assert engine.region((100.0, 100.0, 110.0, 110.0)) == []
+        with pytest.raises(ValueError):
+            engine.region((5.0, 0.0, 1.0, 1.0))
+
+    def test_open_candidates_without_ingest(self, populated):
+        assert ConvoyQueryEngine(populated[0]).open_candidates() == []
+
+    def test_open_candidates_live(self):
+        query = ConvoyQuery(m=2, k=3, eps=2.0)
+        service = ConvoyIngestService(query)
+        engine = ConvoyQueryEngine(service.index, ingest=service)
+        for t in range(3):
+            service.observe(t, [1, 2], [0.0, 1.0], [0.0, 0.0])
+        (candidate,) = engine.open_candidates()
+        assert candidate.objects == frozenset({1, 2})
+
+
+class TestCache:
+    def test_repeat_query_hits(self, populated):
+        engine = ConvoyQueryEngine(populated[0])
+        first = engine.time_range(0, 100)
+        second = engine.time_range(0, 100)
+        assert first == second
+        assert engine.cache_stats.hits == 1
+        assert engine.cache_stats.misses == 1
+        assert engine.cache_stats.hit_rate == 0.5
+
+    def test_write_invalidate_via_version(self, populated):
+        index, _ = populated
+        engine = ConvoyQueryEngine(index)
+        before = engine.time_range(0, 100)
+        index.add(Convoy.of([8, 9], 40, 60))
+        after = engine.time_range(0, 100)
+        assert len(after) == len(before) + 1
+        assert engine.cache_stats.misses == 2  # version bump forced recompute
+
+    def test_caller_mutation_cannot_corrupt_cache(self, populated):
+        engine = ConvoyQueryEngine(populated[0])
+        first = engine.time_range(0, 100)
+        first.clear()  # a caller sorting/filtering in place must be safe
+        assert engine.time_range(0, 100) != []
+
+    def test_cache_eviction_bounded(self, populated):
+        engine = ConvoyQueryEngine(populated[0], cache_size=2)
+        engine.time_range(0, 1)
+        engine.time_range(0, 2)
+        engine.time_range(0, 3)
+        assert len(engine._cache) == 2
+        # The oldest entry was evicted; re-asking recomputes.
+        engine.time_range(0, 1)
+        assert engine.cache_stats.misses == 4

@@ -1,0 +1,127 @@
+"""Spatial sharding and exact cross-shard cluster reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster_snapshot, cluster_snapshot_with_cores
+from repro.service import GridSharder, merge_fragments
+
+
+def _random_snapshot(rng, n, extent=100.0):
+    xs = rng.uniform(0, extent, n)
+    ys = rng.uniform(0, extent, n)
+    oids = np.arange(n, dtype=np.int64) * 3 + 1  # non-contiguous ids
+    return oids, xs, ys
+
+
+class TestGridSharder:
+    def test_every_point_owned_exactly_once(self):
+        rng = np.random.default_rng(1)
+        oids, xs, ys = _random_snapshot(rng, 200)
+        sharder = GridSharder(3, 2, (0.0, 0.0, 100.0, 100.0), eps=7.0)
+        owners = np.zeros(len(oids), dtype=np.int64)
+        for view in sharder.route(oids, xs, ys):
+            owned_ids = view.oids[view.owned]
+            for oid in owned_ids.tolist():
+                owners[(oids == oid).argmax()] += 1
+        assert (owners == 1).all()
+
+    def test_halo_points_are_duplicates_near_borders(self):
+        # Two points straddling the x=50 border within eps of it.
+        oids = np.array([1, 2])
+        xs = np.array([49.0, 51.0])
+        ys = np.array([10.0, 10.0])
+        sharder = GridSharder(2, 1, (0.0, 0.0, 100.0, 100.0), eps=5.0)
+        views = sharder.route(oids, xs, ys)
+        assert sorted(views[0].oids.tolist()) == [1, 2]
+        assert sorted(views[1].oids.tolist()) == [1, 2]
+        assert views[0].halo_count == 1 and views[1].halo_count == 1
+
+    def test_points_outside_bounds_clamp_to_edge_cells(self):
+        sharder = GridSharder(2, 2, (0.0, 0.0, 10.0, 10.0), eps=1.0)
+        owner = sharder.owner_of(np.array([-50.0, 50.0]), np.array([-50.0, 50.0]))
+        assert owner.tolist() == [0, 3]
+        # The far-outside point is *inside* its edge cell (cells extend to
+        # infinity outward), so its whole neighborhood is visible there.
+        views = sharder.route([7, 8], [-50.0, -50.5], [-50.0, -50.0])
+        assert sorted(views[0].oids.tolist()) == [7, 8]
+        assert views[0].owned.all()
+
+    def test_empty_snapshot_routes_empty_views(self):
+        sharder = GridSharder(2, 2, (0.0, 0.0, 10.0, 10.0), eps=1.0)
+        views = sharder.route([], [], [])
+        assert len(views) == 4
+        assert all(len(v.oids) == 0 for v in views)
+
+    def test_degenerate_configs_rejected(self):
+        with pytest.raises(ValueError):
+            GridSharder(0, 1, (0.0, 0.0, 1.0, 1.0), eps=1.0)
+        with pytest.raises(ValueError):
+            GridSharder(1, 1, (5.0, 0.0, 1.0, 1.0), eps=1.0)
+        with pytest.raises(ValueError):
+            GridSharder(1, 1, (0.0, 0.0, 1.0, 1.0), eps=0.0)
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (3, 1), (2, 3)])
+    def test_merged_shard_clusters_equal_global_clustering(self, seed, grid):
+        """The exactness property the whole serving layer rests on."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 80))
+        oids, xs, ys = _random_snapshot(rng, n)
+        eps = float(rng.uniform(3, 20))
+        m = int(rng.integers(2, 6))
+        sharder = GridSharder(*grid, (0.0, 0.0, 100.0, 100.0), eps=eps)
+        fragments = []
+        for view in sharder.route(oids, xs, ys):
+            fragments.extend(
+                cluster_snapshot_with_cores(view.oids, view.xs, view.ys, eps, m)
+            )
+        merged, _ = merge_fragments(fragments)
+        assert merged == cluster_snapshot(oids, xs, ys, eps, m)
+
+    def test_border_chain_is_stitched(self):
+        """A density chain crossing the border further than eps on both
+        sides is truncated in every single shard view; only the merge
+        reconstructs it."""
+        # Chain of 7 points along y=5 crossing x=50, spaced 4 < eps apart.
+        xs = np.array([38.0, 42.0, 46.0, 50.0, 54.0, 58.0, 62.0])
+        ys = np.full(7, 5.0)
+        oids = np.arange(7)
+        eps, m = 4.5, 3
+        sharder = GridSharder(2, 1, (0.0, 0.0, 100.0, 10.0), eps=eps)
+        fragments = []
+        truncated = False
+        for view in sharder.route(oids, xs, ys):
+            pairs = cluster_snapshot_with_cores(view.oids, view.xs, view.ys, eps, m)
+            truncated = truncated or any(len(c) < 7 for c, _ in pairs)
+            fragments.extend(pairs)
+        assert truncated  # each shard really only saw a fragment
+        merged, merges = merge_fragments(fragments)
+        assert merged == [frozenset(range(7))]
+        assert merges >= 1
+
+    def test_shared_border_point_does_not_glue_distinct_clusters(self):
+        """Definition 2: two clusters may share a border point; merging on
+        shared borders (rather than shared cores) would wrongly union them."""
+        # Two tight quads; the point at x=5 (oid 8) is within eps of exactly
+        # one core on each side, so it is a border member of both clusters.
+        xs = np.array([0.0, 0.5, 1.0, 1.5, 8.5, 9.0, 9.5, 10.0, 5.0])
+        ys = np.zeros(9)
+        oids = np.arange(9)
+        eps, m = 3.5, 4
+        truth = cluster_snapshot(oids, xs, ys, eps, m)
+        assert len(truth) == 2  # sanity: still two distinct clusters
+        assert all(8 in cluster for cluster in truth)  # both share oid 8
+        sharder = GridSharder(3, 1, (0.0, 0.0, 10.0, 1.0), eps=eps)
+        fragments = []
+        for view in sharder.route(oids, xs, ys):
+            fragments.extend(
+                cluster_snapshot_with_cores(view.oids, view.xs, view.ys, eps, m)
+            )
+        merged, _ = merge_fragments(fragments)
+        assert merged == truth
+
+    def test_empty_fragments(self):
+        assert merge_fragments([]) == ([], 0)
