@@ -125,6 +125,40 @@ def run_queries(engine: ConvoyQueryEngine, workload) -> Dict:
     }
 
 
+def bench_region_paths(index, dataset, rng: random.Random, n: int) -> Dict:
+    """Time region queries on the bbox grid vs the linear row scan.
+
+    Fires the same ``n`` random rectangles (quarter-extent, like the
+    mixed workload's) through ``ids_in_region`` with the grid on and
+    off, asserting identical answers along the way.
+    """
+    xmin, xmax = float(dataset.xs.min()), float(dataset.xs.max())
+    ymin, ymax = float(dataset.ys.min()), float(dataset.ys.max())
+    regions = []
+    for _ in range(n):
+        x1 = rng.uniform(xmin, xmax)
+        y1 = rng.uniform(ymin, ymax)
+        regions.append(
+            (x1, y1, x1 + 0.25 * (xmax - xmin), y1 + 0.25 * (ymax - ymin))
+        )
+    index.ids_in_region(regions[0])  # build the grid outside the clock
+    t0 = time.perf_counter()
+    grid_answers = [index.ids_in_region(r) for r in regions]
+    grid_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scan_answers = [index.ids_in_region(r, use_grid=False) for r in regions]
+    scan_seconds = time.perf_counter() - t0
+    assert grid_answers == scan_answers, "region grid diverged from the scan"
+    return {
+        "region_queries": n,
+        "region_grid_qps": n / grid_seconds if grid_seconds else float("inf"),
+        "region_scan_qps": n / scan_seconds if scan_seconds else float("inf"),
+        "region_speedup": (
+            scan_seconds / grid_seconds if grid_seconds else float("inf")
+        ),
+    }
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -192,6 +226,15 @@ def main(argv: List[str] = None) -> int:
         f"non-empty {results['non_empty_results']}/{results['queries']}"
     )
 
+    region = bench_region_paths(
+        service.index, dataset, rng, max(50, args.queries // 10)
+    )
+    print(
+        f"region queries: grid {region['region_grid_qps']:.0f} qps vs "
+        f"scan {region['region_scan_qps']:.0f} qps  "
+        f"({region['region_speedup']:.1f}x)"
+    )
+
     entry = {
         "kind": "serve",
         "label": args.label,
@@ -205,6 +248,7 @@ def main(argv: List[str] = None) -> int:
         "border_merges": service.stats.border_merges,
         "halo_copies": service.stats.halo_copies,
         **results,
+        **region,
     }
     if not args.no_journal:
         journal = append_entry(args.out, entry)

@@ -1,8 +1,10 @@
-"""k/2-hop vs. every baseline on one dataset.
+"""k/2-hop vs. every baseline on one dataset, through the registry.
 
-Times CMC, PCCD, VCoDA, VCoDA*, CuTS, the simulated distributed miners
-(DCM, SPARE) and k/2-hop on the same workload, and checks result agreement
-where the algorithms are exact.
+Every algorithm in the registry that mines plain convoys runs on the same
+workload via :class:`repro.api.ConvoySession`; the simulated distributed
+miners (DCM, SPARE) follow with their modelled cluster wall-clock.
+Result agreement is checked wherever the registry metadata claims
+exactness.
 
 Run with::
 
@@ -11,26 +13,9 @@ Run with::
 
 import time
 
-from repro.baselines import (
-    CuTSConfig,
-    mine_cmc,
-    mine_cuts,
-    mine_pccd,
-    mine_vcoda,
-    mine_vcoda_star,
-)
-from repro.core import ConvoyQuery, K2Hop
+from repro.api import ConvoySession, get_miner, list_miners
 from repro.data import plant_convoys
 from repro.distributed import ClusterSpec, mine_dcm, mine_spare
-
-
-def timed(label, fn):
-    started = time.perf_counter()
-    result = fn()
-    elapsed = time.perf_counter() - started
-    convoys = getattr(result, "convoys", result)
-    print(f"{label:<22s} {elapsed * 1e3:9.1f} ms   {len(convoys):3d} convoys")
-    return convoys, elapsed
 
 
 def main() -> None:
@@ -39,24 +24,36 @@ def main() -> None:
         duration=100, seed=17,
     )
     dataset = workload.dataset
-    query = ConvoyQuery(m=3, k=15, eps=workload.eps)
+    session = ConvoySession.from_dataset(dataset).params(
+        m=3, k=15, eps=workload.eps
+    )
     print(f"dataset: {dataset.num_points} points / {dataset.num_objects} objects; "
-          f"query m={query.m} k={query.k} eps={query.eps}\n")
+          f"query m=3 k=15 eps={workload.eps}\n")
 
-    k2, k2_time = timed("k/2-hop", lambda: K2Hop(query).mine(dataset))
-    exact, _ = timed("VCoDA* (exact FC)", lambda: mine_vcoda_star(dataset, query))
-    timed("VCoDA (legacy DCVal)", lambda: mine_vcoda(dataset, query))
-    pccd, _ = timed("PCCD (PC convoys)", lambda: mine_pccd(dataset, query))
-    timed("CMC   (historical)", lambda: mine_cmc(dataset, query))
-    timed("CuTS  (filter+refine)", lambda: mine_cuts(dataset, query, CuTSConfig(delta=1.0)))
+    results = {}
+    for info in list_miners():
+        if info.pattern_kind != "convoy" or info.name == "oracle":
+            continue  # pattern zoo has the flocks/MC side; oracle is O(2^n)
+        started = time.perf_counter()
+        result = session.algorithm(info.name).mine()
+        elapsed = time.perf_counter() - started
+        tag = "exact" if info.exact else "inexact"
+        print(f"{info.name:<20s} {elapsed * 1e3:9.1f} ms   "
+              f"{len(result.convoys):3d} convoys  [{tag}]")
+        results[info.name] = result.convoys
+
+    query = session.config.params.query
     dcm_result = mine_dcm(dataset, query, n_partitions=4)
     spare_result = mine_spare(dataset, query)
-    print(f"{'DCM   (4 YARN nodes)':<22s} {dcm_result.simulated_seconds(ClusterSpec.yarn(4)) * 1e3:9.1f} ms*  {len(dcm_result.convoys):3d} convoys")
-    print(f"{'SPARE (8 cores)':<22s} {spare_result.simulated_seconds(ClusterSpec.local(8)) * 1e3:9.1f} ms*  {len(spare_result.convoys):3d} convoys")
+    print(f"{'dcm (4 YARN nodes)':<20s} {dcm_result.simulated_seconds(ClusterSpec.yarn(4)) * 1e3:9.1f} ms*  {len(dcm_result.convoys):3d} convoys")
+    print(f"{'spare (8 cores)':<20s} {spare_result.simulated_seconds(ClusterSpec.local(8)) * 1e3:9.1f} ms*  {len(spare_result.convoys):3d} convoys")
     print("\n(* simulated cluster wall-clock; mining work executed for real)")
 
-    assert set(k2) == set(exact), "k/2-hop must match the exact baseline"
-    print("\nk/2-hop output verified identical to VCoDA*.")
+    k2 = results["k2hop"]
+    for name, convoys in results.items():
+        if get_miner(name).info.exact:
+            assert convoys == k2, f"{name} diverged from k/2-hop"
+    print("\nevery exact miner verified identical to k/2-hop.")
     recovered = sum(
         any(t.objects <= c.objects and c.interval.contains_interval(t.interval)
             for c in k2)

@@ -16,7 +16,7 @@ Run with::
 from collections import defaultdict
 from itertools import combinations
 
-from repro import mine_convoys
+from repro import ConvoySession
 from repro.data import TrucksConfig, generate_trucks
 
 N_TRUCKS = 10
@@ -32,7 +32,7 @@ def main() -> None:
     )
 
     # Mine convoys: >= 2 vehicles within 150 m for >= 12 consecutive ticks.
-    result = mine_convoys(dataset, m=2, k=12, eps=150.0)
+    result = ConvoySession.from_dataset(dataset).params(m=2, k=12, eps=150.0).mine()
     print(f"{len(result.convoys)} convoys found "
           f"({result.stats.pruning_ratio * 100:.1f}% of points pruned)\n")
 

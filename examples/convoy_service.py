@@ -3,7 +3,10 @@
 The batch miner answers "mine everything" over a stored dataset; the
 service answers the questions a live deployment asks: *which convoys
 overlapped rush hour?*, *which convoys has vehicle 7 travelled in?*,
-*what is forming right now?* — without re-mining.
+*what is forming right now?* — without re-mining.  All of it hangs off
+:class:`repro.api.ConvoySession`: ``.feed()`` opens a live feed,
+``.serve()`` replays an attached dataset, ``ConvoySession.open``
+reattaches to a persisted index.
 
 Run from the repository root::
 
@@ -12,16 +15,8 @@ Run from the repository root::
 
 import tempfile
 
-from repro.core import ConvoyQuery
+from repro.api import ConvoySession
 from repro.data import plant_convoys
-from repro.service import (
-    ConvoyIngestService,
-    ConvoyIndex,
-    ConvoyQueryEngine,
-    GridSharder,
-    create_index,
-    open_index,
-)
 
 
 def main() -> None:
@@ -31,25 +26,28 @@ def main() -> None:
         duration=60, seed=1,
     )
     dataset = workload.dataset
-    query = ConvoyQuery(m=3, k=10, eps=workload.eps)
-    duration = dataset.end_time - dataset.start_time + 1
+    session = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=3, k=10, eps=workload.eps)
+        .shards("2x2")
+        .history("full")
+    )
 
     # 1. Ingestion: 2x2 spatial shards, full history => validated convoys.
-    sharder = GridSharder.for_dataset(dataset, query.eps, 2, 2)
-    service = ConvoyIngestService(query, sharder=sharder, history=duration)
+    live = session.feed()
     print("== ingesting the feed snapshot by snapshot ==")
     for t in dataset.timestamps().tolist():
         oids, xs, ys = dataset.snapshot(t)
-        for convoy in service.observe(t, oids, xs, ys):
+        for convoy in live.observe(t, oids, xs, ys):
             print(f"  t={t}: closed {convoy}")
         if t == dataset.end_time // 2:
-            open_now = service.open_candidates()
+            open_now = live.open_candidates()
             print(f"  t={t}: {len(open_now)} candidate(s) currently open")
-    service.finish()
-    print(f"  ingest stats: {service.stats.summary()}")
+    live.finish()
+    print(f"  ingest stats: {live.stats.summary()}")
 
     # 2. Queries against the in-memory index.
-    engine = ConvoyQueryEngine(service.index, ingest=service)
+    engine = live.query
     full = engine.time_range(dataset.start_time, dataset.end_time)
     print(f"\n== {len(full)} convoy(s) over the whole feed ==")
     for convoy in full:
@@ -65,24 +63,20 @@ def main() -> None:
     print(f"region(sw quadrant)     -> {len(engine.region(region))} convoy(s)")
     print(f"cache: {engine.cache_stats}")
 
-    # 3. Persistence: the same index written through the LSM backend.
+    # 3. Persistence: the same replay through the LSM backend, reopened cold.
     with tempfile.TemporaryDirectory() as workdir:
         index_dir = f"{workdir}/idx"
-        persistent: ConvoyIndex = create_index(index_dir, "lsmt", query)
-        replayed = ConvoyIngestService(
-            query, sharder=sharder, index=persistent, history=duration
-        )
-        replayed.ingest(dataset)
-        persistent.close()
+        session.store("lsmt", index_dir).serve().close()
 
-        reopened, stored_query = open_index(index_dir)
+        reopened = ConvoySession.open(index_dir)
+        stored = reopened.params
         print(
-            f"\n== reopened {index_dir}: {len(reopened)} convoy(s), "
-            f"query (m={stored_query.m}, k={stored_query.k}, "
-            f"eps={stored_query.eps}) =="
+            f"\n== reopened {index_dir}: {len(reopened.convoys)} convoy(s), "
+            f"query (m={stored.m}, k={stored.k}, eps={stored.eps}) =="
         )
-        cold = ConvoyQueryEngine(reopened)
-        assert cold.time_range(dataset.start_time, dataset.end_time) == full
+        assert reopened.query.time_range(
+            dataset.start_time, dataset.end_time
+        ) == full
         print("cold reopen answers match the live index")
         reopened.close()
 

@@ -3,9 +3,11 @@
 The paper's related work distinguishes three co-movement patterns: the
 *flock* (fixed group in a disk), the *convoy* (fixed group, density
 connected — any shape), and the *moving cluster* (drifting membership).
-§7 proposes applying the k/2-hop pruning to the other two patterns; this
-example runs all three miners — with their k/2-accelerated variants where
-available — on a shared workload.
+All of them live in the algorithm registry, so one
+:class:`repro.api.ConvoySession` drives the whole zoo — with the
+k/2-accelerated variants where available — and every answer comes back
+in the shared ``Convoy`` vocabulary (drifting kinds keep their original
+pattern objects in ``result.raw``).
 
 Run with::
 
@@ -14,20 +16,14 @@ Run with::
 
 import time
 
-from repro.core import ConvoyQuery, K2Hop
+from repro.api import ConvoySession
 from repro.data import plant_convoys
-from repro.extensions import (
-    mine_flocks,
-    mine_flocks_k2,
-    mine_moving_clusters,
-    mine_moving_clusters_k2,
-)
 
 
-def timed(label, fn):
+def timed(session, name):
     started = time.perf_counter()
-    result = fn()
-    print(f"{label:<34s} {(time.perf_counter() - started) * 1e3:8.1f} ms   "
+    result = session.algorithm(name).mine()
+    print(f"{name:<34s} {(time.perf_counter() - started) * 1e3:8.1f} ms   "
           f"{len(result):3d} patterns")
     return result
 
@@ -38,20 +34,15 @@ def main() -> None:
         duration=90, seed=12, jitter=1.5, eps=10.0,
     )
     dataset = workload.dataset
-    query = ConvoyQuery(m=3, k=15, eps=8.0)
+    session = ConvoySession.from_dataset(dataset).params(m=3, k=15, eps=8.0)
     print(f"dataset: {dataset.num_points} points / {dataset.num_objects} objects\n")
 
-    convoys = timed("convoys (k/2-hop)", lambda: K2Hop(query).mine(dataset).convoys)
-    flocks = timed("flocks (per-snapshot disks)", lambda: mine_flocks(dataset, query))
-    flocks_k2 = timed("flocks (k/2-hop pruned)", lambda: mine_flocks_k2(dataset, query))
-    mcs = timed(
-        "moving clusters (MC2, theta=0.6)",
-        lambda: mine_moving_clusters(dataset, query, theta=0.6),
-    )
-    timed(
-        "moving clusters (k/2 regions)",
-        lambda: mine_moving_clusters_k2(dataset, query, theta=0.6),
-    )
+    convoys = timed(session, "k2hop").convoys
+    flocks = timed(session, "flocks").convoys
+    flocks_k2 = timed(session, "flocks_k2").convoys
+    drifting = session.params(m=3, k=15, eps=8.0, theta=0.6)
+    mcs = timed(drifting, "moving_clusters")
+    timed(drifting, "moving_clusters_k2")
 
     assert set(flocks) == set(flocks_k2), "flock acceleration must be exact"
 
@@ -64,7 +55,7 @@ def main() -> None:
         print(f"  {flock}  covered_by_convoy={covered}")
 
     print("\nmoving clusters can outlive convoys (membership drift):")
-    for mc in mcs[:5]:
+    for mc in (mcs.raw or [])[:5]:
         print(f"  [{mc.start},{mc.end}] members over time: "
               f"{[sorted(m) for m in mc.members_by_time[:4]]}...")
 

@@ -1,11 +1,11 @@
-"""Quickstart: plant convoys, mine them back, inspect the statistics.
+"""Quickstart: plant convoys, mine them back through the one-call facade.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import mine_convoys, plant_convoys
+from repro import ConvoySession, plant_convoys
 
 
 def main() -> None:
@@ -23,7 +23,14 @@ def main() -> None:
         print(f"  {convoy}")
 
     # Mine: at least 3 objects together for at least 15 consecutive ticks.
-    result = mine_convoys(workload.dataset, m=3, k=15, eps=workload.eps)
+    # The same session drives any registered algorithm (`repro-convoy
+    # algorithms` lists them) and the streaming/serving modes.
+    result = (
+        ConvoySession.from_dataset(workload.dataset)
+        .algorithm("k2hop")
+        .params(m=3, k=15, eps=workload.eps)
+        .mine()
+    )
 
     print("\nmined fully connected convoys:")
     for convoy in result:

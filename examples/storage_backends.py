@@ -1,21 +1,22 @@
 """One query, four storage backends — the §5 storage comparison.
 
 Runs the same convoy query against the in-memory store, the flat file, the
-B+tree-clustered relational store and the LSM tree, and prints each
-backend's physical I/O profile.  Mirrors the paper's k2-File / k2-RDBMS /
-k2-LSMT comparison.
+B+tree-clustered relational store and the LSM tree via
+``ConvoySession.read_from``, and prints each backend's physical I/O
+profile (captured on ``result.source_io``; counters include the one-time
+store load).  Mirrors the paper's k2-File / k2-RDBMS / k2-LSMT comparison.
 
 Run with::
 
     python examples/storage_backends.py
 """
 
-import tempfile
 import time
 
-from repro.core import ConvoyQuery, K2Hop
+from repro.api import ConvoySession
 from repro.data import plant_convoys
-from repro.storage import FlatFileStore, LSMTStore, MemoryStore, RelationalStore
+
+BACKENDS = ("memory", "file", "rdbms", "lsmt")
 
 
 def main() -> None:
@@ -23,32 +24,25 @@ def main() -> None:
         n_convoys=4, convoy_size=5, convoy_duration=30, n_noise=80,
         duration=150, seed=3,
     )
-    query = ConvoyQuery(m=4, k=20, eps=workload.eps)
+    session = ConvoySession.from_dataset(workload.dataset).params(
+        m=4, k=20, eps=workload.eps
+    )
     print(
         f"dataset: {workload.dataset.num_points} points, "
         f"{workload.dataset.num_objects} objects\n"
     )
 
-    with tempfile.TemporaryDirectory() as workdir:
-        stores = {
-            "memory  ": MemoryStore(workload.dataset),
-            "k2-File ": FlatFileStore.create(f"{workdir}/flat.bin", workload.dataset),
-            "k2-RDBMS": RelationalStore.create(f"{workdir}/rel.db", workload.dataset),
-            "k2-LSMT ": LSMTStore.create(f"{workdir}/lsm", workload.dataset),
-        }
-        reference = None
-        for name, store in stores.items():
-            store.stats.reset()
-            started = time.perf_counter()
-            result = K2Hop(query).mine(store)
-            elapsed = time.perf_counter() - started
-            if reference is None:
-                reference = result.convoys
-            agreement = "OK " if result.convoys == reference else "DIFF"
-            print(f"{name}  {elapsed * 1e3:8.1f} ms  convoys={len(result.convoys)} "
-                  f"[{agreement}]")
-            print(f"          io: {store.stats.summary()}")
-            store.close()
+    reference = None
+    for kind in BACKENDS:
+        started = time.perf_counter()
+        result = session.read_from(kind).mine()
+        elapsed = time.perf_counter() - started
+        if reference is None:
+            reference = result.convoys
+        agreement = "OK " if result.convoys == reference else "DIFF"
+        print(f"{kind:<8s}  {elapsed * 1e3:8.1f} ms  convoys={len(result.convoys)} "
+              f"[{agreement}]")
+        print(f"          io: {result.source_io or '(in-memory, none)'}")
 
 
 if __name__ == "__main__":

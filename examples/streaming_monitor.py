@@ -2,16 +2,17 @@
 
 Simulates a stream of GPS snapshots arriving tick by tick (as a transit
 operator's feed would) and prints convoys the moment they dissolve —
-no stored dataset, bounded memory.
+no stored dataset, bounded memory.  The feed handle comes from
+``ConvoySession.feed()``; a blank session (no attached data) is exactly
+the live-deployment shape.
 
 Run with::
 
     python examples/streaming_monitor.py
 """
 
-from repro.core import ConvoyQuery
+from repro.api import ConvoySession
 from repro.data import plant_convoys
-from repro.extensions import StreamingConvoyMonitor
 
 
 def main() -> None:
@@ -19,25 +20,31 @@ def main() -> None:
         n_convoys=3, convoy_size=4, convoy_duration=20, n_noise=30,
         duration=70, seed=5,
     )
-    query = ConvoyQuery(m=3, k=12, eps=workload.eps)
+
+    live = (
+        ConvoySession.blank()
+        .params(m=3, k=12, eps=workload.eps)
+        .history(70)
+        .feed()
+    )
 
     def announce(convoy):
         members = ",".join(str(o) for o in sorted(convoy.objects))
         print(f"  tick {convoy.end + 1}: convoy closed — objects {{{members}}} "
               f"travelled together over [{convoy.start}, {convoy.end}]")
 
-    monitor = StreamingConvoyMonitor(query, history=70, on_convoy=announce)
-
     print("replaying the feed:")
     for t in workload.dataset.timestamps().tolist():
         oids, xs, ys = workload.dataset.snapshot(t)
-        monitor.observe(t, oids, xs, ys)
+        for convoy in live.observe(t, oids, xs, ys):
+            announce(convoy)
         if t == 35:
-            open_now = monitor.open_candidates()
+            open_now = live.open_candidates()
             print(f"  tick 35 status check: {len(open_now)} candidate(s) open")
-    monitor.finish()
+    for convoy in live.finish():
+        announce(convoy)
 
-    print(f"\ntotal convoys emitted: {len(monitor.closed_convoys)}")
+    print(f"\ntotal convoys emitted: {len(live.convoys)}")
     print(f"ground truth planted : {len(workload.convoys)}")
 
 

@@ -14,7 +14,7 @@ Run with::
     python examples/traffic_jam_monitor.py
 """
 
-from repro import mine_convoys
+from repro import ConvoySession
 from repro.data import BrinkhoffConfig, BrinkhoffGenerator
 
 
@@ -36,7 +36,7 @@ def main() -> None:
         f"vehicles over {info.duration} ticks"
     )
 
-    result = mine_convoys(dataset, m=6, k=10, eps=200.0)
+    result = ConvoySession.from_dataset(dataset).params(m=6, k=10, eps=200.0).mine()
 
     print(f"\n{len(result.convoys)} traffic jam(s) detected:")
     for convoy in result:

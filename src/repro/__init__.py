@@ -3,14 +3,36 @@ Effective Pruning" (Orakzai, Calders, Pedersen; PVLDB 12(9), 2019).
 
 Quickstart::
 
-    from repro import mine_convoys, plant_convoys
+    from repro import ConvoySession
+    from repro.data import plant_convoys
 
     workload = plant_convoys(n_convoys=3, seed=1)
-    result = mine_convoys(workload.dataset, m=3, k=10, eps=workload.eps)
+    result = (
+        ConvoySession.from_dataset(workload.dataset)
+        .algorithm("k2hop")
+        .params(m=3, k=10, eps=workload.eps)
+        .mine()
+    )
     for convoy in result:
         print(convoy)
+
+The same session drives streaming (``.feed()``) and serving
+(``.serve()``, ``ConvoySession.open``); ``repro.api.list_miners()``
+enumerates every registered algorithm.
 """
 
+import warnings
+
+from .api import (
+    ConvoyService,
+    ConvoySession,
+    MinerInfo,
+    SessionResult,
+    get_miner,
+    list_miners,
+    miner_names,
+    register_miner,
+)
 from .core import (
     Convoy,
     ConvoyEngine,
@@ -19,7 +41,6 @@ from .core import (
     MiningResult,
     MiningStats,
     TimeInterval,
-    mine_convoys,
 )
 from .data import (
     Dataset,
@@ -30,22 +51,55 @@ from .data import (
     random_walk_dataset,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Convoy",
     "ConvoyEngine",
     "ConvoyQuery",
+    "ConvoyService",
+    "ConvoySession",
     "Dataset",
     "K2Hop",
+    "MinerInfo",
     "MiningResult",
     "MiningStats",
+    "SessionResult",
     "TimeInterval",
     "__version__",
     "generate_brinkhoff",
     "generate_tdrive",
     "generate_trucks",
+    "get_miner",
+    "list_miners",
     "mine_convoys",
+    "miner_names",
     "plant_convoys",
     "random_walk_dataset",
+    "register_miner",
 ]
+
+#: Old top-level entry points kept as deprecation shims: the attribute is
+#: served lazily (PEP 562) so touching it warns exactly once per call site
+#: while `repro.core.mine_convoys` stays warning-free for internal use.
+_DEPRECATED_SHIMS = {
+    "mine_convoys": (
+        "repro.core",
+        "mine with ConvoySession (repro.api) or import it from repro.core",
+    ),
+}
+
+
+def __getattr__(name):
+    shim = _DEPRECATED_SHIMS.get(name)
+    if shim is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    home, advice = shim
+    warnings.warn(
+        f"`from repro import {name}` is deprecated; {advice}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(home), name)

@@ -1,0 +1,83 @@
+"""The public convoy API: algorithm registry + the ``ConvoySession`` facade.
+
+One import serves every workload::
+
+    from repro.api import ConvoySession, list_miners
+
+    for info in list_miners():
+        print(info.name, info.pattern_kind, info.exact)
+
+    result = (
+        ConvoySession.from_csv("traffic.csv")
+        .algorithm("k2hop")
+        .params(m=3, k=10, eps=50.0)
+        .mine()
+    )
+
+Batch mining (``.mine()``), streaming ingestion (``.feed()``) and the
+serving/query layer (``.serve()``, ``ConvoySession.open``) all hang off
+the same session object; every registered algorithm returns the shared
+:class:`~repro.core.types.Convoy` result vocabulary.
+
+The CI ``api-surface`` job asserts this module's ``__all__`` against the
+checked-in snapshot in ``tests/api_surface.txt`` — extend both together.
+"""
+
+from ..core.k2hop import MiningResult
+from ..core.params import ConvoyQuery
+from ..core.stats import MiningStats
+from ..core.types import Convoy, TimeInterval
+from .config import (
+    MiningParams,
+    RESULT_STORE_KINDS,
+    SOURCE_STORE_KINDS,
+    ServeSpec,
+    SessionConfig,
+    SourceSpec,
+    StoreSpec,
+    normalize_store_kind,
+)
+from .registry import (
+    Miner,
+    MinerInfo,
+    PATTERN_KINDS,
+    RegisteredMiner,
+    SessionResult,
+    get_miner,
+    list_miners,
+    miner_names,
+    normalize_result,
+    register_miner,
+)
+from .session import DEFAULT_ALGORITHM, ConvoyService, ConvoySession
+
+from . import miners as _miners  # noqa: F401  (populates the registry)
+
+__all__ = [
+    "Convoy",
+    "ConvoyQuery",
+    "ConvoyService",
+    "ConvoySession",
+    "DEFAULT_ALGORITHM",
+    "Miner",
+    "MinerInfo",
+    "MiningParams",
+    "MiningResult",
+    "MiningStats",
+    "PATTERN_KINDS",
+    "RESULT_STORE_KINDS",
+    "RegisteredMiner",
+    "SOURCE_STORE_KINDS",
+    "ServeSpec",
+    "SessionConfig",
+    "SessionResult",
+    "SourceSpec",
+    "StoreSpec",
+    "TimeInterval",
+    "get_miner",
+    "list_miners",
+    "miner_names",
+    "normalize_result",
+    "normalize_store_kind",
+    "register_miner",
+]

@@ -1,0 +1,199 @@
+"""Registration of every built-in algorithm with the miner registry.
+
+Importing this module (done by ``repro.api``) populates the registry with
+the paper's k/2-hop miner, the baselines it evaluates against (CMC, PCCD,
+VCoDA, VCoDA*, CuTS, the brute-force oracle) and the §7 extension
+patterns (flocks, moving clusters, evolving convoys, streaming).  Each
+adapter is a thin shim from the registry's uniform calling convention
+``(source, query, **extra)`` onto the implementing module's own API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..baselines.cmc import mine_cmc
+from ..baselines.cuts import CuTSConfig, mine_cuts
+from ..baselines.oracle import mine_oracle
+from ..baselines.pccd import mine_pccd
+from ..baselines.vcoda import mine_vcoda, mine_vcoda_star
+from ..core.k2hop import K2Hop
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..extensions.evolving import mine_evolving_convoys
+from ..extensions.flocks import mine_flocks, mine_flocks_k2
+from ..extensions.moving_clusters import (
+    mine_moving_clusters,
+    mine_moving_clusters_k2,
+)
+from ..extensions.parallel import mine_convoys_parallel
+from ..extensions.streaming import replay
+from .registry import register_miner
+
+
+@register_miner(
+    "k2hop",
+    module=K2Hop.__module__,
+    summary="the paper's exact k/2-hop miner (benchmark-point pruning)",
+)
+def _k2hop(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return K2Hop(query).mine(source)
+
+
+@register_miner(
+    "k2hop_parallel",
+    module=mine_convoys_parallel.__module__,
+    summary="k/2-hop with thread-parallel clustering and window mining",
+    extra_params=("max_workers",),
+)
+def _k2hop_parallel(
+    source: TrajectorySource,
+    query: ConvoyQuery,
+    max_workers: Optional[int] = None,
+) -> Any:
+    return mine_convoys_parallel(source, query, max_workers=max_workers)
+
+
+@register_miner(
+    "cmc",
+    module=mine_cmc.__module__,
+    summary="original convoy discovery (VLDB'08; historically flawed)",
+    exact=False,
+)
+def _cmc(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_cmc(source, query)
+
+
+@register_miner(
+    "pccd",
+    module=mine_pccd.__module__,
+    summary="corrected CMC: complete partially-connected convoys",
+    exact=False,  # partially connected, not the FC refinement
+)
+def _pccd(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_pccd(source, query)
+
+
+@register_miner(
+    "vcoda",
+    module=mine_vcoda.__module__,
+    summary="PCCD + single-pass DCVal (the published, flawed validation)",
+    exact=False,
+)
+def _vcoda(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_vcoda(source, query)
+
+
+@register_miner(
+    "vcoda_star",
+    module=mine_vcoda_star.__module__,
+    summary="PCCD + recursive validation: exact maximal FC convoys",
+)
+def _vcoda_star(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_vcoda_star(source, query)
+
+
+@register_miner(
+    "cuts",
+    module=mine_cuts.__module__,
+    summary="CuTS filter-and-refine (Douglas-Peucker + partition clustering)",
+    needs_dataset=True,
+    extra_params=("lam", "delta", "variant", "fully_connected"),
+)
+def _cuts(
+    source: TrajectorySource,
+    query: ConvoyQuery,
+    lam: Optional[int] = None,
+    delta: float = 2.0,
+    variant: str = "cuts",
+    fully_connected: bool = True,
+) -> Any:
+    config = CuTSConfig(
+        lam=lam, delta=delta, variant=variant, fully_connected=fully_connected
+    )
+    return mine_cuts(source, query, config)
+
+
+@register_miner(
+    "oracle",
+    module=mine_oracle.__module__,
+    summary="brute-force subset enumeration (ground truth; tiny inputs only)",
+)
+def _oracle(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_oracle(source, query)
+
+
+@register_miner(
+    "streaming",
+    module=replay.__module__,
+    summary="online PCCD-chain monitor replayed over the dataset",
+    supports_streaming=True,
+    needs_dataset=True,  # replay() walks Dataset.timestamps()
+    extra_params=("history",),
+)
+def _streaming(
+    source: TrajectorySource, query: ConvoyQuery, history: Optional[int] = None
+) -> Any:
+    if history is None:  # full history => close-time validation to FC
+        history = source.end_time - source.start_time + 1
+    return replay(source, query, history=history)
+
+
+@register_miner(
+    "flocks",
+    module=mine_flocks.__module__,
+    summary="flock patterns: disk groups per snapshot + convoy chaining",
+    pattern_kind="flock",
+)
+def _flocks(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_flocks(source, query)
+
+
+@register_miner(
+    "flocks_k2",
+    module=mine_flocks_k2.__module__,
+    summary="flocks with exact k/2-hop benchmark-point pruning",
+    pattern_kind="flock",
+)
+def _flocks_k2(source: TrajectorySource, query: ConvoyQuery) -> Any:
+    return mine_flocks_k2(source, query)
+
+
+@register_miner(
+    "moving_clusters",
+    module=mine_moving_clusters.__module__,
+    summary="MC2 moving clusters: Jaccard-chained snapshot clusters",
+    pattern_kind="moving_cluster",
+    extra_params=("theta",),
+)
+def _moving_clusters(
+    source: TrajectorySource, query: ConvoyQuery, theta: float = 0.5
+) -> Any:
+    return mine_moving_clusters(source, query, theta=theta)
+
+
+@register_miner(
+    "moving_clusters_k2",
+    module=mine_moving_clusters_k2.__module__,
+    summary="MC2 restricted to k/2 active regions (lossy under heavy drift)",
+    pattern_kind="moving_cluster",
+    exact=False,
+    extra_params=("theta",),
+)
+def _moving_clusters_k2(
+    source: TrajectorySource, query: ConvoyQuery, theta: float = 0.5
+) -> Any:
+    return mine_moving_clusters_k2(source, query, theta=theta)
+
+
+@register_miner(
+    "evolving",
+    module=mine_evolving_convoys.__module__,
+    summary="evolving convoys: maximal stage chains with member handover",
+    pattern_kind="evolving_convoy",
+    extra_params=("min_common",),
+)
+def _evolving(
+    source: TrajectorySource, query: ConvoyQuery, min_common: Optional[int] = None
+) -> Any:
+    return mine_evolving_convoys(source, query, min_common=min_common)

@@ -1,0 +1,223 @@
+"""Pluggable algorithm registry: one string name per co-movement miner.
+
+Every miner in the library — the paper's k/2-hop, the baselines it
+evaluates against, and the §7 extension patterns — registers here under a
+stable string name together with capability metadata, so callers (the
+:class:`~repro.api.session.ConvoySession` facade, the CLI, benchmarks)
+can select algorithms without importing private modules.
+
+A registered miner is any callable ``(source, query, **extra) -> result``
+where ``result`` is a :class:`~repro.core.k2hop.MiningResult`, a list of
+:class:`~repro.core.types.Convoy`, or a list of richer pattern objects
+exposing ``interval`` and ``all_members`` (moving clusters, evolving
+convoys).  The registry normalises all three shapes into a
+:class:`SessionResult` — a ``MiningResult`` whose ``raw`` field retains
+the pre-normalisation pattern objects — so every algorithm speaks the
+same result vocabulary.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..core.k2hop import MiningResult
+from ..core.params import ConvoyQuery
+from ..core.source import TrajectorySource
+from ..core.stats import MiningStats
+from ..core.types import Convoy, sort_convoys
+
+#: The co-movement pattern families the registry knows about.
+PATTERN_KINDS = ("convoy", "flock", "moving_cluster", "evolving_convoy")
+
+
+@runtime_checkable
+class Miner(Protocol):
+    """The protocol a registered mining callable satisfies."""
+
+    def __call__(
+        self, source: TrajectorySource, query: ConvoyQuery, **extra: Any
+    ) -> Any:  # MiningResult | List[Convoy] | List[pattern objects]
+        ...
+
+
+@dataclass
+class SessionResult(MiningResult):
+    """A :class:`MiningResult` enriched with session-level context.
+
+    ``convoys`` always holds normalised :class:`Convoy` values; for
+    pattern kinds richer than convoys (moving clusters, evolving convoys)
+    ``raw`` retains the original pattern objects in the same order.
+    ``source_io`` carries the storage I/O summary when the session mined
+    from an on-disk store.
+    """
+
+    raw: Optional[List[Any]] = None
+    source_io: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MinerInfo:
+    """Capability metadata describing one registered algorithm.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro mine --algorithm <name>``).
+    summary:
+        One-line human description (shown by ``list_miners`` consumers).
+    module:
+        Dotted module path of the implementing function.
+    pattern_kind:
+        One of :data:`PATTERN_KINDS`.
+    exact:
+        Whether the output is the exact maximal pattern set of its kind
+        (``False`` for historically flawed baselines and lossy heuristics).
+    supports_streaming:
+        Whether the algorithm can consume an unbounded snapshot feed
+        incrementally (the session's ``.feed()`` mode).
+    needs_dataset:
+        Whether the miner requires an in-memory :class:`repro.data.Dataset`
+        (e.g. CuTS' trajectory-simplification filter) rather than any
+        :class:`TrajectorySource`.
+    extra_params:
+        Names of the optional keyword parameters the miner accepts beyond
+        the ``(m, k, eps)`` query.
+    """
+
+    name: str
+    summary: str
+    module: str
+    pattern_kind: str = "convoy"
+    exact: bool = True
+    supports_streaming: bool = False
+    needs_dataset: bool = False
+    extra_params: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RegisteredMiner:
+    """A mining callable bound to its capability metadata."""
+
+    info: MinerInfo
+    func: Miner = field(repr=False)
+
+    def mine(
+        self, source: TrajectorySource, query: ConvoyQuery, **extra: Any
+    ) -> SessionResult:
+        """Run the miner and normalise its output to :class:`SessionResult`."""
+        unknown = set(extra) - set(self.info.extra_params)
+        if unknown:
+            raise TypeError(
+                f"algorithm {self.info.name!r} does not accept parameters "
+                f"{sorted(unknown)}; it accepts {sorted(self.info.extra_params)}"
+            )
+        return normalize_result(self.func(source, query, **extra), source)
+
+
+def normalize_result(result: Any, source: TrajectorySource) -> SessionResult:
+    """Coerce any miner's return shape into the shared result types."""
+    if isinstance(result, SessionResult):
+        return result
+    if isinstance(result, MiningResult):
+        return SessionResult(result.convoys, result.stats)
+    patterns = list(result)
+    stats = MiningStats(total_points=source.num_points)
+    if all(isinstance(p, Convoy) for p in patterns):
+        return SessionResult(sort_convoys(patterns), stats)
+    # Richer pattern objects (moving clusters, evolving convoys): project
+    # each onto the convoy vocabulary — every object ever a member, over
+    # the pattern's full lifespan — and keep the originals in ``raw``.
+    convoys = [
+        Convoy(p.all_members, p.interval) for p in patterns
+    ]
+    order = sorted(range(len(patterns)), key=lambda i: _sort_key(convoys[i]))
+    return SessionResult(
+        [convoys[i] for i in order], stats, raw=[patterns[i] for i in order]
+    )
+
+
+def _sort_key(convoy: Convoy) -> Tuple[int, int, Tuple[int, ...]]:
+    return (convoy.start, convoy.end, tuple(sorted(convoy.objects)))
+
+
+_REGISTRY: Dict[str, RegisteredMiner] = {}
+
+
+def register_miner(
+    name: str,
+    *,
+    summary: str,
+    pattern_kind: str = "convoy",
+    exact: bool = True,
+    supports_streaming: bool = False,
+    needs_dataset: bool = False,
+    extra_params: Tuple[str, ...] = (),
+    module: Optional[str] = None,
+) -> Callable[[Miner], Miner]:
+    """Decorator registering a mining callable under ``name``.
+
+    The decorated function keeps working unchanged when called directly;
+    registration only adds the name to the registry::
+
+        @register_miner("cmc", summary="...", exact=False)
+        def _cmc(source, query):
+            return mine_cmc(source, query)
+    """
+    if pattern_kind not in PATTERN_KINDS:
+        raise ValueError(
+            f"pattern_kind {pattern_kind!r} not one of {PATTERN_KINDS}"
+        )
+
+    def decorate(func: Miner) -> Miner:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered")
+        info = MinerInfo(
+            name=name,
+            summary=summary,
+            module=module if module is not None else func.__module__,
+            pattern_kind=pattern_kind,
+            exact=exact,
+            supports_streaming=supports_streaming,
+            needs_dataset=needs_dataset,
+            extra_params=tuple(extra_params),
+        )
+        _REGISTRY[name] = RegisteredMiner(info, func)
+        return func
+
+    return decorate
+
+
+def get_miner(name: str) -> RegisteredMiner:
+    """Look up a registered algorithm; unknown names raise with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        hint = ""
+        close = difflib.get_close_matches(name, _REGISTRY, n=3)
+        if close:
+            hint = f" (did you mean {', '.join(repr(c) for c in close)}?)"
+        raise ValueError(
+            f"unknown algorithm {name!r}{hint}; registered: "
+            f"{', '.join(miner_names())}"
+        ) from None
+
+
+def list_miners() -> List[MinerInfo]:
+    """Capability metadata of every registered algorithm, name-sorted."""
+    return [_REGISTRY[name].info for name in miner_names()]
+
+
+def miner_names() -> List[str]:
+    """Sorted registry keys (the CLI's ``--algorithm`` choices)."""
+    return sorted(_REGISTRY)

@@ -1,9 +1,13 @@
 """Command-line interface: ``repro-convoy generate | mine | info | serve | query``.
 
+Every subcommand is a thin shell over the :class:`repro.api.ConvoySession`
+facade — the same surface library users script against.
+
 Examples::
 
     repro-convoy generate --kind brinkhoff --out traffic.csv
     repro-convoy mine traffic.csv -m 3 -k 10 --eps 50 --store lsmt
+    repro-convoy mine traffic.csv -m 3 -k 10 --eps 50 --algorithm cmc
     repro-convoy info traffic.csv
     repro-convoy serve traffic.csv -m 3 -k 10 --eps 50 --index-dir ./idx --shards 2x2
     repro-convoy query ./idx --time 10:80
@@ -14,10 +18,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import tempfile
+import warnings
 from typing import List, Optional
 
-from .core import ConvoyQuery, K2Hop
+from .api import ConvoySession, list_miners, miner_names
 from .data import (
     generate_brinkhoff,
     generate_tdrive,
@@ -53,12 +57,25 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("-k", type=int, required=True, help="min convoy length")
     mine.add_argument("--eps", type=float, required=True, help="distance threshold")
     mine.add_argument(
+        "--algorithm",
+        choices=miner_names(),
+        default="k2hop",
+        help="registered mining algorithm (see the `algorithms` subcommand)",
+    )
+    mine.add_argument(
         "--store",
         choices=("memory", "file", "rdbms", "lsmt"),
         default="memory",
         help="storage backend to mine from",
     )
     mine.add_argument("--stats", action="store_true", help="print mining statistics")
+
+    algorithms = commands.add_parser(
+        "algorithms", help="list the registered mining algorithms"
+    )
+    algorithms.add_argument(
+        "--kind", default=None, help="filter by pattern kind (e.g. convoy, flock)"
+    )
 
     info = commands.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("dataset")
@@ -76,10 +93,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory to persist the convoy index into (omit for in-memory)",
     )
     serve.add_argument(
+        "--store",
+        choices=("bptree", "lsmt"),
+        default=None,
+        help="persistent index backend for --index-dir (default lsmt)",
+    )
+    serve.add_argument(
         "--backend",
         choices=("bptree", "lsmt"),
-        default="lsmt",
-        help="persistent backend for --index-dir",
+        default=None,
+        help=argparse.SUPPRESS,  # deprecated alias of --store
     )
     serve.add_argument(
         "--shards",
@@ -155,39 +178,39 @@ def _generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_store(dataset, kind: str, workdir: str):
-    if kind == "memory":
-        from .storage import MemoryStore
-
-        return MemoryStore(dataset)
-    if kind == "file":
-        from .storage import FlatFileStore
-
-        return FlatFileStore.create(f"{workdir}/data.bin", dataset)
-    if kind == "rdbms":
-        from .storage import RelationalStore
-
-        return RelationalStore.create(f"{workdir}/data.db", dataset)
-    from .storage import LSMTStore
-
-    return LSMTStore.create(f"{workdir}/lsm", dataset)
-
-
 def _mine(args: argparse.Namespace) -> int:
-    dataset = load_csv(args.dataset)
-    query = ConvoyQuery(m=args.m, k=args.k, eps=args.eps)
-    with tempfile.TemporaryDirectory() as workdir:
-        store = _open_store(dataset, args.store, workdir)
-        result = K2Hop(query).mine(store)
-        for convoy in result.convoys:
-            members = ",".join(str(o) for o in sorted(convoy.objects))
-            print(f"[{convoy.start},{convoy.end}] {{{members}}}")
-        print(f"{len(result.convoys)} convoy(s) found")
-        if args.stats:
-            print(result.stats.summary())
-            if hasattr(store, "stats"):
-                print(f"store I/O: {store.stats.summary()}")
-        store.close()
+    session = (
+        ConvoySession.from_csv(args.dataset)
+        .algorithm(args.algorithm)
+        .params(m=args.m, k=args.k, eps=args.eps)
+        .read_from(args.store)
+    )
+    try:
+        result = session.mine()
+    except ValueError as error:  # e.g. store-incompatible algorithm
+        print(str(error), file=sys.stderr)
+        return 2
+    for convoy in result.convoys:
+        members = ",".join(str(o) for o in sorted(convoy.objects))
+        print(f"[{convoy.start},{convoy.end}] {{{members}}}")
+    print(f"{len(result.convoys)} convoy(s) found")
+    if args.stats:
+        print(result.stats.summary())
+        if result.source_io is not None:
+            print(f"store I/O: {result.source_io}")
+    return 0
+
+
+def _algorithms(args: argparse.Namespace) -> int:
+    for info in list_miners():
+        if args.kind is not None and info.pattern_kind != args.kind:
+            continue
+        flags = [info.pattern_kind]
+        flags.append("exact" if info.exact else "inexact")
+        if info.supports_streaming:
+            flags.append("streaming")
+        extras = f"  extras: {', '.join(info.extra_params)}" if info.extra_params else ""
+        print(f"{info.name:<20s} [{', '.join(flags)}] {info.summary}{extras}")
     return 0
 
 
@@ -199,29 +222,26 @@ def _print_convoys(convoys) -> None:
 
 
 def _serve(args: argparse.Namespace) -> int:
-    from .service import (
-        ConvoyIndex,
-        ConvoyIngestService,
-        GridSharder,
-        create_index,
-    )
-
-    dataset = load_csv(args.dataset)
-    query = ConvoyQuery(m=args.m, k=args.k, eps=args.eps)
-    try:
-        nx, ny = (int(part) for part in args.shards.lower().split("x"))
-        if nx < 1 or ny < 1:
-            raise ValueError(args.shards)
-    except ValueError:
-        print(f"bad --shards {args.shards!r}; expected e.g. 2x2", file=sys.stderr)
-        return 2
-    if args.history == "full":
-        history = dataset.info().duration
-    else:
+    backend = args.store
+    if args.backend is not None:
+        warnings.warn(
+            "`serve --backend` is deprecated; use `serve --store`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if backend is not None and backend != args.backend:
+            print(
+                f"conflicting --store {backend!r} and --backend {args.backend!r}",
+                file=sys.stderr,
+            )
+            return 2
+        backend = args.backend
+    if backend is None:
+        backend = "lsmt"
+    history = args.history
+    if history != "full":
         try:
-            history = int(args.history)
-            if history < 0:
-                raise ValueError(args.history)
+            history = int(history)
         except ValueError:
             print(
                 f"bad --history {args.history!r}; expected 'full' or a "
@@ -230,32 +250,29 @@ def _serve(args: argparse.Namespace) -> int:
             )
             return 2
     try:
-        index = (
-            create_index(args.index_dir, args.backend, query)
-            if args.index_dir
-            else ConvoyIndex()
+        session = (
+            ConvoySession.from_csv(args.dataset)
+            .params(m=args.m, k=args.k, eps=args.eps)
+            .shards(args.shards)
+            .history(history)
         )
-    except ValueError as error:  # e.g. reopening under different params
+        if args.index_dir:
+            session = session.store(backend, args.index_dir)
+        handle = session.serve()
+    except ValueError as error:  # bad shard spec / history / index reopen
         print(str(error), file=sys.stderr)
         return 2
-    sharder = GridSharder.for_dataset(dataset, query.eps, nx, ny)
-    service = ConvoyIngestService(
-        query, sharder=sharder, index=index, history=history
-    )
-    service.ingest(dataset)
-    _print_convoys(index.convoys())
-    print(f"ingest: {service.stats.summary()}")
+    _print_convoys(handle.convoys)
+    print(f"ingest: {handle.stats.summary()}")
     if args.index_dir:
-        print(f"index persisted to {args.index_dir} ({args.backend})")
-        index.close()
+        print(f"index persisted to {args.index_dir} ({backend})")
+        handle.close()
     return 0
 
 
 def _query(args: argparse.Namespace) -> int:
-    from .service import ConvoyQueryEngine, open_index
-
-    index, _query_params = open_index(args.index_dir)
-    engine = ConvoyQueryEngine(index)
+    handle = ConvoySession.open(args.index_dir)
+    engine = handle.query
     try:
         if args.time is not None:
             start, end = (int(part) for part in args.time.split(":"))
@@ -274,10 +291,10 @@ def _query(args: argparse.Namespace) -> int:
             "--containing oid,oid,..., --region xmin,ymin,xmax,ymax",
             file=sys.stderr,
         )
-        index.close()
+        handle.close()
         return 2
     _print_convoys(results)
-    index.close()
+    handle.close()
     return 0
 
 
@@ -295,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _generate,
         "mine": _mine,
+        "algorithms": _algorithms,
         "info": _info,
         "serve": _serve,
         "query": _query,

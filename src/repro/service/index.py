@@ -19,6 +19,7 @@ convoy set the batch miner would.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -56,6 +57,88 @@ class IndexedConvoy:
     bbox: Optional[BBox]
 
 
+#: Upper bound on region-grid resolution per axis (64x64 = 4096 cells).
+_MAX_GRID_CELLS = 64
+
+#: Below this record count the linear scan beats the grid's probe overhead.
+_GRID_MIN_RECORDS = 64
+
+
+class _RegionGrid:
+    """Uniform grid over the stored convoy bounding boxes.
+
+    Rebuilt lazily whenever the index version moves (writes are batchy —
+    ingest, then many queries — so one O(n) rebuild amortises over the
+    whole read phase).  A region query probes only the cells its
+    rectangle overlaps instead of scanning every record.
+    """
+
+    __slots__ = ("version", "nx", "ny", "x0", "y0", "cw", "ch", "cells")
+
+    def __init__(self, version: int):
+        self.version = version
+        self.nx = self.ny = 0
+        self.x0 = self.y0 = 0.0
+        self.cw = self.ch = 1.0
+        self.cells: Dict[Tuple[int, int], List[int]] = {}
+
+    @staticmethod
+    def build(version: int, records: Dict[int, "IndexedConvoy"]) -> "_RegionGrid":
+        grid = _RegionGrid(version)
+        boxes = [
+            (cid, record.bbox)
+            for cid, record in records.items()
+            if record.bbox is not None
+        ]
+        if not boxes:
+            return grid
+        grid.x0 = min(b[1][0] for b in boxes)
+        grid.y0 = min(b[1][1] for b in boxes)
+        x1 = max(b[1][2] for b in boxes)
+        y1 = max(b[1][3] for b in boxes)
+        resolution = min(_MAX_GRID_CELLS, max(1, math.isqrt(len(boxes))))
+        grid.nx = grid.ny = resolution
+        grid.cw = max((x1 - grid.x0) / resolution, 1e-12)
+        grid.ch = max((y1 - grid.y0) / resolution, 1e-12)
+        for cid, bbox in boxes:
+            for cell in grid._cells_over(bbox):
+                grid.cells.setdefault(cell, []).append(cid)
+        return grid
+
+    def _cells_over(self, rect: BBox):
+        ix0, iy0, ix1, iy1 = self._cell_span(rect)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                yield (ix, iy)
+
+    def _cell_span(self, rect: BBox) -> Tuple[int, int, int, int]:
+        clamp = lambda v, hi: min(max(v, 0), hi - 1)  # noqa: E731
+        ix0 = clamp(int((rect[0] - self.x0) / self.cw), self.nx)
+        iy0 = clamp(int((rect[1] - self.y0) / self.ch), self.ny)
+        ix1 = clamp(int((rect[2] - self.x0) / self.cw), self.nx)
+        iy1 = clamp(int((rect[3] - self.y0) / self.ch), self.ny)
+        return ix0, iy0, ix1, iy1
+
+    def query(
+        self, region: BBox, records: Dict[int, "IndexedConvoy"]
+    ) -> List[int]:
+        if not self.cells:
+            return []
+        xmin, ymin, xmax, ymax = region
+        candidates: Set[int] = set()
+        for cell in self._cells_over(region):
+            candidates.update(self.cells.get(cell, ()))
+        return sorted(
+            cid
+            for cid in candidates
+            if (bbox := records[cid].bbox) is not None
+            and bbox[0] <= xmax
+            and xmin <= bbox[2]
+            and bbox[1] <= ymax
+            and ymin <= bbox[3]
+        )
+
+
 class ConvoyIndex:
     """Maximality-preserving convoy store over a :class:`ResultBackend`.
 
@@ -73,6 +156,7 @@ class ConvoyIndex:
         self._by_end: List[Tuple[int, int]] = []  # (end, cid), end-sorted
         self._next_id = 0
         self.version = 0
+        self._region_grid: Optional[_RegionGrid] = None
         self._load()
 
     # -- persistence ---------------------------------------------------------
@@ -255,10 +339,26 @@ class ConvoyIndex:
             cid for cid, mask in self._masks.items() if wanted & mask == wanted
         ]
 
-    def ids_in_region(self, region: BBox) -> List[int]:
-        """Convoys whose recorded bounding box overlaps the region."""
+    def ids_in_region(self, region: BBox, use_grid: bool = True) -> List[int]:
+        """Convoys whose recorded bounding box overlaps the region.
+
+        Probes a uniform grid over the stored bounding boxes (rebuilt
+        lazily per index version) so a query touches only the candidates
+        in the overlapping cells; ``use_grid=False`` keeps the exhaustive
+        row scan as a correctness oracle and benchmark baseline.
+        """
+        if not use_grid or len(self._records) < _GRID_MIN_RECORDS:
+            return self._scan_region_linear(region)
+        grid = self._region_grid
+        if grid is None or grid.version != self.version:
+            grid = self._region_grid = _RegionGrid.build(
+                self.version, self._records
+            )
+        return grid.query(region, self._records)
+
+    def _scan_region_linear(self, region: BBox) -> List[int]:
         xmin, ymin, xmax, ymax = region
-        return [
+        return sorted(
             cid
             for cid, record in self._records.items()
             if record.bbox is not None
@@ -266,7 +366,7 @@ class ConvoyIndex:
             and xmin <= record.bbox[2]
             and record.bbox[1] <= ymax
             and ymin <= record.bbox[3]
-        ]
+        )
 
     # -- cold (backend-scanning) paths, exercised by the persistence tests ---
 

@@ -6,7 +6,8 @@ Answers the questions the batch miner cannot without re-mining:
 * ``object_history(oid)`` / ``containing(oids)`` — membership queries on
   the inverted index (bitset-mask subset tests);
 * ``region(xmin, ymin, xmax, ymax)`` — convoys whose bounding box
-  overlaps a rectangle;
+  overlaps a rectangle (answered from a uniform grid over the stored
+  bboxes, not a row scan);
 * ``open_candidates()`` — the still-open candidates of a live ingest.
 
 Results are memoised in an LRU cache keyed on ``(query, index version)``:

@@ -1,0 +1,115 @@
+"""The algorithm registry: lookup, metadata, and result normalisation."""
+
+import importlib
+
+import pytest
+
+from repro.api import (
+    PATTERN_KINDS,
+    SessionResult,
+    get_miner,
+    list_miners,
+    miner_names,
+    normalize_result,
+    register_miner,
+)
+from repro.core import MiningResult, MiningStats
+from repro.core.types import Convoy
+from repro.data import plant_convoys
+
+
+class TestLookup:
+    def test_at_least_seven_algorithms_registered(self):
+        assert len(miner_names()) >= 7
+
+    def test_the_paper_and_its_baselines_are_registered(self):
+        names = set(miner_names())
+        assert {"k2hop", "cmc", "pccd", "vcoda", "vcoda_star", "cuts"} <= names
+
+    def test_extension_patterns_are_registered(self):
+        names = set(miner_names())
+        assert {"flocks", "moving_clusters", "evolving", "streaming"} <= names
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'k2hop'"):
+            get_miner("k2hopp")
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="registered: "):
+            get_miner("definitely-not-a-miner")
+
+    def test_names_are_sorted(self):
+        assert miner_names() == sorted(miner_names())
+
+
+class TestMetadata:
+    def test_every_info_names_an_importable_module(self):
+        for info in list_miners():
+            module = importlib.import_module(info.module)
+            assert module is not None
+
+    def test_every_pattern_kind_is_known(self):
+        for info in list_miners():
+            assert info.pattern_kind in PATTERN_KINDS
+
+    def test_k2hop_is_exact_cmc_is_not(self):
+        assert get_miner("k2hop").info.exact
+        assert not get_miner("cmc").info.exact
+
+    def test_streaming_capability(self):
+        assert get_miner("streaming").info.supports_streaming
+        assert not get_miner("k2hop").info.supports_streaming
+
+    def test_extra_params_advertised(self):
+        assert "theta" in get_miner("moving_clusters").info.extra_params
+        assert get_miner("k2hop").info.extra_params == ()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_miner("k2hop", summary="dup")(lambda source, query: [])
+
+    def test_bad_pattern_kind_rejected(self):
+        with pytest.raises(ValueError, match="pattern_kind"):
+            register_miner("custom", summary="x", pattern_kind="blob")
+
+    def test_unknown_extra_parameter_rejected_by_name(self):
+        from repro.core import ConvoyQuery
+
+        workload = plant_convoys(n_convoys=1, seed=1)
+        with pytest.raises(TypeError, match="does not accept"):
+            get_miner("k2hop").mine(
+                workload.dataset, ConvoyQuery(m=3, k=10, eps=10.0), theta=0.5
+            )
+
+
+class TestNormalization:
+    def test_mining_result_passes_through(self):
+        workload = plant_convoys(n_convoys=1, seed=4)
+        inner = MiningResult([Convoy.of([1, 2, 3], 0, 9)], MiningStats())
+        result = normalize_result(inner, workload.dataset)
+        assert isinstance(result, SessionResult)
+        assert result.convoys == inner.convoys
+        assert result.raw is None
+
+    def test_convoy_list_is_sorted(self):
+        workload = plant_convoys(n_convoys=1, seed=4)
+        convoys = [Convoy.of([4, 5, 6], 5, 20), Convoy.of([1, 2, 3], 0, 9)]
+        result = normalize_result(convoys, workload.dataset)
+        assert [c.start for c in result.convoys] == [0, 5]
+        assert result.stats.total_points == workload.dataset.num_points
+
+    def test_rich_patterns_keep_raw_aligned(self):
+        from repro.core import ConvoyQuery
+        from repro.extensions import mine_moving_clusters
+
+        workload = plant_convoys(
+            n_convoys=2, convoy_size=3, convoy_duration=15, n_noise=6,
+            duration=25, seed=9,
+        )
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        raw = mine_moving_clusters(workload.dataset, query)
+        result = normalize_result(raw, workload.dataset)
+        assert result.raw is not None and len(result.raw) == len(result.convoys)
+        for convoy, pattern in zip(result.convoys, result.raw):
+            assert convoy.objects == pattern.all_members
+            assert convoy.interval == pattern.interval

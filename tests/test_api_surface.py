@@ -1,0 +1,59 @@
+"""`repro.api.__all__` is frozen against a checked-in snapshot.
+
+An API redesign's worst failure mode is silent drift: a name quietly
+dropped (breaking users) or quietly added (growing surface nobody
+reviewed).  The snapshot in ``tests/api_surface.txt`` makes either a
+loud, deliberate diff — update the snapshot in the same commit that
+changes the surface.
+"""
+
+import pathlib
+
+import repro.api
+
+SNAPSHOT = pathlib.Path(__file__).resolve().parent / "api_surface.txt"
+
+
+def snapshot_names():
+    return [
+        line.strip()
+        for line in SNAPSHOT.read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+
+
+def test_all_matches_snapshot():
+    assert sorted(repro.api.__all__) == snapshot_names(), (
+        "repro.api.__all__ drifted from tests/api_surface.txt; "
+        "update both together"
+    )
+
+
+def test_all_is_sorted_and_unique():
+    names = list(repro.api.__all__)
+    assert names == sorted(set(names))
+
+
+def test_every_name_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None, name
+
+
+def test_no_undocumented_public_callables():
+    """Everything public and defined by the api package is in __all__."""
+    public = {
+        name
+        for name in dir(repro.api)
+        if not name.startswith("_")
+        and getattr(getattr(repro.api, name), "__module__", "").startswith(
+            "repro.api"
+        )
+    }
+    assert public <= set(repro.api.__all__), public - set(repro.api.__all__)
+
+
+def test_star_import_honours_all():
+    namespace = {}
+    exec("from repro.api import *", namespace)
+    exported = {name for name in namespace if not name.startswith("_")}
+    assert exported == set(repro.api.__all__)

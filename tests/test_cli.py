@@ -56,6 +56,50 @@ class TestMine:
         assert "pruning" in out and "store I/O" in out
 
 
+class TestMineAlgorithms:
+    """`mine --algorithm <name>` reaches the registry end to end."""
+
+    @pytest.mark.parametrize("algorithm", ["cmc", "pccd", "vcoda"])
+    def test_baselines_mine_csv(self, planted_csv, algorithm, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0", "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "convoy(s) found" in out
+        assert out.count("[") >= 1  # the planted convoys are recovered
+
+    @pytest.mark.parametrize("algorithm", ["vcoda_star", "k2hop_parallel"])
+    def test_exact_algorithms_match_default(self, planted_csv, algorithm, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0", "--algorithm", algorithm]) == 0
+        alternative = capsys.readouterr().out
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0"]) == 0
+        assert alternative == capsys.readouterr().out
+
+    def test_extension_pattern_mines(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10",
+                     "--eps", "10.0", "--algorithm", "flocks"]) == 0
+        assert "convoy(s) found" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self, planted_csv):
+        with pytest.raises(SystemExit):
+            main(["mine", planted_csv, "-m", "3", "-k", "10",
+                  "--eps", "10.0", "--algorithm", "frobnicate"])
+
+    def test_dataset_bound_algorithm_refuses_disk_store(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "-m", "3", "-k", "10", "--eps",
+                     "10.0", "--algorithm", "cuts", "--store", "lsmt"]) == 2
+        assert "cannot mine through" in capsys.readouterr().err
+
+    def test_algorithms_subcommand_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "k2hop" in out and "cmc" in out and "streaming" in out
+        assert main(["algorithms", "--kind", "flock"]) == 0
+        out = capsys.readouterr().out
+        assert "flocks" in out and "k2hop " not in out
+
+
 class TestServeQuery:
     @pytest.fixture()
     def index_dir(self, planted_csv, tmp_path, capsys):

@@ -1,0 +1,94 @@
+"""The old public surface keeps working — loudly.
+
+These tests are run by the CI ``api-surface`` job with
+``-W error::DeprecationWarning``: every legacy path must emit a
+:class:`DeprecationWarning` (caught here with ``pytest.warns``), and the
+canonical paths must stay silent even under that filter.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.cli import main
+
+
+@pytest.fixture()
+def planted_csv(tmp_path, capsys):
+    path = str(tmp_path / "planted.csv")
+    assert main(["generate", "--kind", "planted", "--out", path, "--seed", "3",
+                 "--scale", "0.4"]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestTopLevelImportShim:
+    def test_mine_convoys_import_warns(self):
+        with pytest.warns(DeprecationWarning, match="ConvoySession"):
+            fn = repro.mine_convoys
+        assert fn is not None
+
+    def test_shim_resolves_to_the_real_function(self):
+        from repro.core import mine_convoys as canonical
+
+        with pytest.warns(DeprecationWarning):
+            assert repro.mine_convoys is canonical
+
+    def test_shim_still_mines(self):
+        from repro.data import plant_convoys
+
+        workload = plant_convoys(n_convoys=1, seed=2)
+        with pytest.warns(DeprecationWarning):
+            mine = repro.mine_convoys
+        result = mine(workload.dataset, m=3, k=10, eps=workload.eps)
+        assert len(result) == 1
+
+    def test_canonical_import_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core import mine_convoys  # noqa: F401
+            from repro.api import ConvoySession  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="frobnicate"):
+            repro.frobnicate
+
+    def test_deprecated_names_stay_in_all(self):
+        assert "mine_convoys" in repro.__all__
+
+
+class TestServeBackendFlagShim:
+    def test_backend_flag_warns_and_serves(self, planted_csv, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx")
+        with pytest.warns(DeprecationWarning, match="--store"):
+            code = main(["serve", planted_csv, "-m", "3", "-k", "10",
+                         "--eps", "10.0", "--index-dir", index_dir,
+                         "--backend", "bptree"])
+        assert code == 0
+        assert "persisted" in capsys.readouterr().out
+        assert main(["query", index_dir, "--time", "0:1000"]) == 0
+        assert "convoy(s)" in capsys.readouterr().out
+
+    def test_store_flag_is_silent(self, planted_csv, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["serve", planted_csv, "-m", "3", "-k", "10",
+                         "--eps", "10.0", "--index-dir", index_dir,
+                         "--store", "bptree"]) == 0
+        capsys.readouterr()
+
+    def test_agreeing_flags_accepted_conflicts_rejected(
+        self, planted_csv, tmp_path, capsys
+    ):
+        with pytest.warns(DeprecationWarning):
+            assert main(["serve", planted_csv, "-m", "3", "-k", "10",
+                         "--eps", "10.0", "--store", "lsmt",
+                         "--backend", "lsmt"]) == 0
+        capsys.readouterr()
+        with pytest.warns(DeprecationWarning):
+            assert main(["serve", planted_csv, "-m", "3", "-k", "10",
+                         "--eps", "10.0", "--store", "lsmt",
+                         "--backend", "bptree"]) == 2
+        assert "conflicting" in capsys.readouterr().err
