@@ -8,13 +8,16 @@ overlaps, open candidates) at the :class:`ConvoyQueryEngine`, reporting
 * ingestion throughput (snapshots/s and points/s),
 * query throughput (QPS) and latency (p50 / p95 / max, milliseconds),
 * the result-cache hit rate,
+* with ``--http``: the same workload again through the asyncio HTTP
+  front (wire-inclusive ``http_qps`` / ``http_p50_ms`` / ``http_p95_ms``),
 
 and appends the numbers as a ``"serve"`` entry in the ``BENCH_k2hop.json``
 journal.  Run from the repository root::
 
     PYTHONPATH=src python benchmarks/serve_load.py                      # full brinkhoff
     PYTHONPATH=src python benchmarks/serve_load.py --size small --queries 100 \
-        --min-qps 50 --max-p95-ms 50 --require-results --no-journal    # CI smoke
+        --http --min-qps 50 --min-http-qps 20 --max-p95-ms 50 \
+        --require-results --no-journal                                 # CI smoke
 """
 
 from __future__ import annotations
@@ -89,7 +92,13 @@ def build_workload(rng: random.Random, n: int, dataset, convoys) -> List[tuple]:
     return workload
 
 
-def run_queries(engine: ConvoyQueryEngine, workload) -> Dict:
+def run_queries(engine, workload, cache_hit_rate=None) -> Dict:
+    """Fire the mixed workload at anything with the query-engine surface.
+
+    ``engine`` is either a :class:`ConvoyQueryEngine` or a
+    :class:`repro.api.ConvoyClient` — both expose the same five query
+    families, which is the whole point of the network API.
+    """
     latencies = []
     non_empty = 0
     started = time.perf_counter()
@@ -114,6 +123,8 @@ def run_queries(engine: ConvoyQueryEngine, workload) -> Dict:
     def pct(p: float) -> float:
         return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
 
+    if cache_hit_rate is None:
+        cache_hit_rate = engine.cache_stats.hit_rate
     return {
         "queries": len(workload),
         "qps": len(workload) / elapsed if elapsed else float("inf"),
@@ -121,8 +132,40 @@ def run_queries(engine: ConvoyQueryEngine, workload) -> Dict:
         "p95_ms": pct(0.95) * 1e3,
         "max_ms": latencies[-1] * 1e3,
         "non_empty_results": non_empty,
-        "cache_hit_rate": engine.cache_stats.hit_rate,
+        "cache_hit_rate": cache_hit_rate,
     }
+
+
+def run_http_queries(service, workload, dataset) -> Dict:
+    """The same mixed workload, but fired through the HTTP front.
+
+    Starts the asyncio server on an ephemeral local port, drives it with
+    a blocking :class:`ConvoyClient` (one keep-alive connection), and
+    reports wire-inclusive QPS / latency percentiles.
+    """
+    from repro.api import ConvoyClient
+    from repro.server import serve_in_background
+
+    with serve_in_background(service, dataset=dataset) as handle:
+        client = ConvoyClient(handle.host, handle.port)
+        try:
+            # client.query mirrors ConvoyQueryEngine's surface exactly —
+            # run_queries drives it unchanged; the server-side cache hit
+            # rate comes back over /stats.
+            results = run_queries(client.query, workload, cache_hit_rate=0.0)
+            results["cache_hit_rate"] = client.stats()["cache"]["hit_rate"]
+        finally:
+            client.close()
+    return {f"http_{key}": value for key, value in results.items()}
+
+
+def _service_handle(ingest_service: ConvoyIngestService):
+    """Wrap a bare ingest service in the handle the HTTP server expects."""
+    from repro.api.session import ConvoyService
+
+    return ConvoyService(
+        ingest_service.index, ingest_service.query, ingest=ingest_service
+    )
 
 
 def bench_region_paths(index, dataset, rng: random.Random, n: int) -> Dict:
@@ -187,6 +230,16 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="fail unless some queries returned convoys",
     )
+    parser.add_argument(
+        "--http",
+        action="store_true",
+        help="also fire the workload through the HTTP front and record "
+        "wire-inclusive QPS / latency",
+    )
+    parser.add_argument(
+        "--min-http-qps", type=float, default=None,
+        help="fail below this HTTP QPS (requires --http)",
+    )
     args = parser.parse_args(argv)
 
     dataset = (
@@ -226,6 +279,18 @@ def main(argv: List[str] = None) -> int:
         f"non-empty {results['non_empty_results']}/{results['queries']}"
     )
 
+    http_results = {}
+    if args.http:
+        print("firing the same workload through the HTTP front ...", flush=True)
+        http_results = run_http_queries(_service_handle(service), workload, dataset)
+        print(
+            f"  {http_results['http_qps']:.0f} qps   "
+            f"p50 {http_results['http_p50_ms']:.3f} ms   "
+            f"p95 {http_results['http_p95_ms']:.3f} ms   "
+            f"max {http_results['http_max_ms']:.3f} ms   "
+            f"cache hit rate {http_results['http_cache_hit_rate']:.2f}"
+        )
+
     region = bench_region_paths(
         service.index, dataset, rng, max(50, args.queries // 10)
     )
@@ -248,6 +313,7 @@ def main(argv: List[str] = None) -> int:
         "border_merges": service.stats.border_merges,
         "halo_copies": service.stats.halo_copies,
         **results,
+        **http_results,
         **region,
     }
     if not args.no_journal:
@@ -261,6 +327,13 @@ def main(argv: List[str] = None) -> int:
         failures.append(f"p95 {results['p95_ms']:.3f}ms > {args.max_p95_ms}ms")
     if args.require_results and not results["non_empty_results"]:
         failures.append("no query returned any convoy")
+    if args.min_http_qps is not None:
+        if not http_results:
+            failures.append("--min-http-qps needs --http")
+        elif http_results["http_qps"] < args.min_http_qps:
+            failures.append(
+                f"http qps {http_results['http_qps']:.0f} < {args.min_http_qps}"
+            )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,90 @@
+"""HTTP serving acceptance property: wire answers == in-process answers.
+
+Replays one paperbench workload through ``ConvoySession.serve()``, then
+publishes the same service over the asyncio HTTP front and checks that a
+:class:`ConvoyClient` sees byte-identical results for every query family
+— the acceptance bar of the network-facing API: swapping the in-process
+handle for a remote client must not change a single answer.
+"""
+
+import random
+
+import pytest
+
+from paperbench import DEFAULT_QUERIES, print_table, small_dataset
+from repro.api import ConvoyClient, ConvoySession
+from repro.server import serve_in_background
+
+WORKLOAD = "brinkhoff"
+
+
+@pytest.fixture(scope="module")
+def served():
+    dataset = small_dataset(WORKLOAD)
+    query = DEFAULT_QUERIES[WORKLOAD]
+    service = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=query.m, k=query.k, eps=query.eps)
+        .shards("2x2")
+        .serve()
+    )
+    with serve_in_background(service, dataset=dataset) as handle:
+        client = ConvoyClient(handle.host, handle.port)
+        yield dataset, query, service, client
+        client.close()
+
+
+def test_http_equals_in_process_on_paperbench_workload(served):
+    dataset, query, service, client = served
+    start, end = dataset.start_time, dataset.end_time
+
+    full_local = service.query.time_range(start, end)
+    full_wire = client.query.time_range(start, end)
+    assert full_wire == full_local
+    assert full_local, "workload should contain convoys"
+
+    rng = random.Random(13)
+    for _ in range(15):
+        t1 = rng.randint(start, end)
+        t2 = rng.randint(t1, end)
+        assert client.query.time_range(t1, t2) == \
+            service.query.time_range(t1, t2)
+
+    oids = sorted({oid for c in full_local for oid in c.objects})
+    for oid in oids[:10]:
+        assert client.query.object_history(oid) == \
+            service.query.object_history(oid)
+    for oid in oids[:5]:
+        assert client.query.containing([oid]) == service.query.containing([oid])
+
+    xmin, xmax = float(dataset.xs.min()), float(dataset.xs.max())
+    ymin, ymax = float(dataset.ys.min()), float(dataset.ys.max())
+    for _ in range(10):
+        x1 = rng.uniform(xmin, xmax)
+        y1 = rng.uniform(ymin, ymax)
+        region = (x1, y1, x1 + 0.3 * (xmax - xmin), y1 + 0.3 * (ymax - ymin))
+        assert client.query.region(region) == service.query.region(region)
+
+    assert client.open_candidates() == service.open_candidates()
+    assert client.convoys == service.convoys
+
+    print_table(
+        f"HTTP equivalence ({WORKLOAD}/small)",
+        ("metric", "value"),
+        [
+            ("convoys", len(full_local)),
+            ("wire requests", client.stats()["requests"]),
+            ("cache hit rate",
+             f"{client.stats()['cache']['hit_rate']:.2f}"),
+        ],
+    )
+
+
+def test_http_mine_matches_batch(served):
+    dataset, query, _, client = served
+    batch = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=query.m, k=query.k, eps=query.eps)
+        .mine()
+    )
+    assert client.mine(query.m, query.k, query.eps) == batch.convoys

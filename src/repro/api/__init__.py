@@ -49,13 +49,20 @@ from .registry import (
     normalize_result,
     register_miner,
 )
+from .schema import PARAM_TYPES, Param, ParamSchema, SchemaError, schema_of
 from .session import DEFAULT_ALGORITHM, ConvoyService, ConvoySession
 
 from . import miners as _miners  # noqa: F401  (populates the registry)
 
+# Imported last: repro.server reaches back into repro.api submodules, so
+# everything above must already be bound when the cycle closes.
+from ..server.client import ConvoyClient, ConvoyServerError
+
 __all__ = [
     "Convoy",
+    "ConvoyClient",
     "ConvoyQuery",
+    "ConvoyServerError",
     "ConvoyService",
     "ConvoySession",
     "DEFAULT_ALGORITHM",
@@ -64,10 +71,14 @@ __all__ = [
     "MiningParams",
     "MiningResult",
     "MiningStats",
+    "PARAM_TYPES",
     "PATTERN_KINDS",
+    "Param",
+    "ParamSchema",
     "RESULT_STORE_KINDS",
     "RegisteredMiner",
     "SOURCE_STORE_KINDS",
+    "SchemaError",
     "ServeSpec",
     "SessionConfig",
     "SessionResult",
@@ -80,4 +91,5 @@ __all__ = [
     "normalize_result",
     "normalize_store_kind",
     "register_miner",
+    "schema_of",
 ]

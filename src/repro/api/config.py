@@ -117,15 +117,21 @@ class ServeSpec:
     duration (known only when a dataset is attached), an integer retains
     that many, ``0`` disables validation (emissions are then partially
     connected, like CMC/PCCD).
+
+    ``workers`` is the thread count for per-shard snapshot clustering:
+    ``0`` (the default) clusters shards serially on the caller's thread.
     """
 
     nx: int = 1
     ny: int = 1
     history: Union[str, int] = "full"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.nx < 1 or self.ny < 1:
             raise ValueError(f"shard grid {self.nx}x{self.ny} must be >= 1x1")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
         if isinstance(self.history, str):
             if self.history != "full":
                 raise ValueError(

@@ -29,6 +29,7 @@ from ..extensions.moving_clusters import (
 from ..extensions.parallel import mine_convoys_parallel
 from ..extensions.streaming import replay
 from .registry import register_miner
+from .schema import Param
 
 
 @register_miner(
@@ -44,7 +45,10 @@ def _k2hop(source: TrajectorySource, query: ConvoyQuery) -> Any:
     "k2hop_parallel",
     module=mine_convoys_parallel.__module__,
     summary="k/2-hop with thread-parallel clustering and window mining",
-    extra_params=("max_workers",),
+    params=(
+        Param("max_workers", int, default=None, minimum=1,
+              doc="thread pool size (None = Python's default)"),
+    ),
 )
 def _k2hop_parallel(
     source: TrajectorySource,
@@ -98,7 +102,17 @@ def _vcoda_star(source: TrajectorySource, query: ConvoyQuery) -> Any:
     module=mine_cuts.__module__,
     summary="CuTS filter-and-refine (Douglas-Peucker + partition clustering)",
     needs_dataset=True,
-    extra_params=("lam", "delta", "variant", "fully_connected"),
+    params=(
+        Param("lam", int, default=None, minimum=2,
+              doc="partition length in ticks (None = k//2)"),
+        Param("delta", float, default=2.0, minimum=0.0,
+              doc="Douglas-Peucker simplification tolerance"),
+        Param("variant", str, default="cuts",
+              choices=("cuts", "cuts+", "cuts*"),
+              doc="filter distance variant"),
+        Param("fully_connected", bool, default=True,
+              doc="refine candidates to fully connected convoys"),
+    ),
 )
 def _cuts(
     source: TrajectorySource,
@@ -129,7 +143,10 @@ def _oracle(source: TrajectorySource, query: ConvoyQuery) -> Any:
     summary="online PCCD-chain monitor replayed over the dataset",
     supports_streaming=True,
     needs_dataset=True,  # replay() walks Dataset.timestamps()
-    extra_params=("history",),
+    params=(
+        Param("history", int, default=None, minimum=0,
+              doc="retained snapshots for validation (None = full feed)"),
+    ),
 )
 def _streaming(
     source: TrajectorySource, query: ConvoyQuery, history: Optional[int] = None
@@ -164,7 +181,10 @@ def _flocks_k2(source: TrajectorySource, query: ConvoyQuery) -> Any:
     module=mine_moving_clusters.__module__,
     summary="MC2 moving clusters: Jaccard-chained snapshot clusters",
     pattern_kind="moving_cluster",
-    extra_params=("theta",),
+    params=(
+        Param("theta", float, default=0.5, minimum=0.0, maximum=1.0,
+              doc="min Jaccard overlap between chained clusters"),
+    ),
 )
 def _moving_clusters(
     source: TrajectorySource, query: ConvoyQuery, theta: float = 0.5
@@ -178,7 +198,10 @@ def _moving_clusters(
     summary="MC2 restricted to k/2 active regions (lossy under heavy drift)",
     pattern_kind="moving_cluster",
     exact=False,
-    extra_params=("theta",),
+    params=(
+        Param("theta", float, default=0.5, minimum=0.0, maximum=1.0,
+              doc="min Jaccard overlap between chained clusters"),
+    ),
 )
 def _moving_clusters_k2(
     source: TrajectorySource, query: ConvoyQuery, theta: float = 0.5
@@ -191,7 +214,10 @@ def _moving_clusters_k2(
     module=mine_evolving_convoys.__module__,
     summary="evolving convoys: maximal stage chains with member handover",
     pattern_kind="evolving_convoy",
-    extra_params=("min_common",),
+    params=(
+        Param("min_common", int, default=None, minimum=1,
+              doc="min shared objects across a stage handover (None = m)"),
+    ),
 )
 def _evolving(
     source: TrajectorySource, query: ConvoyQuery, min_common: Optional[int] = None

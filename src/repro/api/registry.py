@@ -27,6 +27,7 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Sequence,
     Tuple,
     runtime_checkable,
 )
@@ -36,6 +37,7 @@ from ..core.params import ConvoyQuery
 from ..core.source import TrajectorySource
 from ..core.stats import MiningStats
 from ..core.types import Convoy, sort_convoys
+from .schema import Param, ParamSchema
 
 #: The co-movement pattern families the registry knows about.
 PATTERN_KINDS = ("convoy", "flock", "moving_cluster", "evolving_convoy")
@@ -90,9 +92,11 @@ class MinerInfo:
         Whether the miner requires an in-memory :class:`repro.data.Dataset`
         (e.g. CuTS' trajectory-simplification filter) rather than any
         :class:`TrajectorySource`.
-    extra_params:
-        Names of the optional keyword parameters the miner accepts beyond
-        the ``(m, k, eps)`` query.
+    schema:
+        The typed :class:`~repro.api.schema.ParamSchema` of the optional
+        keyword parameters the miner accepts beyond the ``(m, k, eps)``
+        query.  ``extra_params`` derives the historical name tuple from
+        it.
     """
 
     name: str
@@ -102,7 +106,12 @@ class MinerInfo:
     exact: bool = True
     supports_streaming: bool = False
     needs_dataset: bool = False
-    extra_params: Tuple[str, ...] = ()
+    schema: ParamSchema = field(default_factory=ParamSchema)
+
+    @property
+    def extra_params(self) -> Tuple[str, ...]:
+        """Names of the extra parameters (the pre-schema advertisement)."""
+        return self.schema.names
 
 
 @dataclass(frozen=True)
@@ -115,13 +124,13 @@ class RegisteredMiner:
     def mine(
         self, source: TrajectorySource, query: ConvoyQuery, **extra: Any
     ) -> SessionResult:
-        """Run the miner and normalise its output to :class:`SessionResult`."""
-        unknown = set(extra) - set(self.info.extra_params)
-        if unknown:
-            raise TypeError(
-                f"algorithm {self.info.name!r} does not accept parameters "
-                f"{sorted(unknown)}; it accepts {sorted(self.info.extra_params)}"
-            )
+        """Run the miner and normalise its output to :class:`SessionResult`.
+
+        ``extra`` is validated and coerced through the algorithm's
+        :class:`~repro.api.schema.ParamSchema`; unknown names and
+        out-of-domain values raise :class:`~repro.api.schema.SchemaError`.
+        """
+        extra = self.info.schema.validate(extra)
         return normalize_result(self.func(source, query, **extra), source)
 
 
@@ -162,7 +171,7 @@ def register_miner(
     exact: bool = True,
     supports_streaming: bool = False,
     needs_dataset: bool = False,
-    extra_params: Tuple[str, ...] = (),
+    params: Sequence[Param] = (),
     module: Optional[str] = None,
 ) -> Callable[[Miner], Miner]:
     """Decorator registering a mining callable under ``name``.
@@ -173,11 +182,16 @@ def register_miner(
         @register_miner("cmc", summary="...", exact=False)
         def _cmc(source, query):
             return mine_cmc(source, query)
+
+    ``params`` declares the typed schema of the extra keyword parameters
+    the miner accepts — every call through the registry validates and
+    coerces against it.
     """
     if pattern_kind not in PATTERN_KINDS:
         raise ValueError(
             f"pattern_kind {pattern_kind!r} not one of {PATTERN_KINDS}"
         )
+    schema = ParamSchema(tuple(params)).bind(name)
 
     def decorate(func: Miner) -> Miner:
         if name in _REGISTRY:
@@ -190,7 +204,7 @@ def register_miner(
             exact=exact,
             supports_streaming=supports_streaming,
             needs_dataset=needs_dataset,
-            extra_params=tuple(extra_params),
+            schema=schema,
         )
         _REGISTRY[name] = RegisteredMiner(info, func)
         return func

@@ -1,0 +1,288 @@
+"""Declarative, typed parameter schemas for registered algorithms.
+
+Every algorithm's optional knobs used to be advertised as a bare name
+tuple (``extra_params=("theta",)``), which let a typo'd *name* fail fast
+but waved any *value* straight through to the miner.  A
+:class:`ParamSchema` instead declares each parameter once — name, type,
+default, bounds, choices, one-line doc — and that single declaration
+drives every surface that accepts parameters:
+
+* the Python API (:meth:`~repro.api.session.ConvoySession.params` and
+  :meth:`~repro.api.registry.RegisteredMiner.mine` validate and coerce
+  through it),
+* the CLI (``mine --algorithm cuts lam=6`` parses the string form;
+  ``algorithms`` prints the schema),
+* the wire (``POST /mine`` on the HTTP server validates the JSON body).
+
+Violations raise :class:`SchemaError`, which names the offending
+parameter and algorithm.  It subclasses both :class:`TypeError` (the
+historical "does not accept" contract for unknown names) and
+:class:`ValueError` (what CLI/server error paths catch), so existing
+callers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+#: Parameter value types a schema can declare (JSON-representable).
+PARAM_TYPES = (int, float, str, bool)
+
+_BOOL_STRINGS = {
+    "true": True, "1": True, "yes": True, "on": True,
+    "false": False, "0": False, "no": False, "off": False,
+}
+
+_NONE_STRINGS = {"none", "null", ""}
+
+
+class SchemaError(TypeError, ValueError):
+    """A parameter failed schema validation.
+
+    Carries the offending ``param`` name and the ``algorithm`` whose
+    schema rejected it, so programmatic callers (the HTTP server's 400
+    responses, tests) need not parse the message.
+    """
+
+    def __init__(self, message: str, *, param: Optional[str] = None,
+                 algorithm: Optional[str] = None):
+        super().__init__(message)
+        self.param = param
+        self.algorithm = algorithm
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed algorithm parameter.
+
+    Attributes
+    ----------
+    name:
+        Keyword the miner accepts (``theta``, ``lam``, ...).
+    type:
+        One of :data:`PARAM_TYPES`.  String inputs (CLI, wire) are
+        coerced; native inputs are type-checked.
+    default:
+        Value used when the caller omits the parameter.  ``None`` marks
+        the parameter nullable: explicit ``None`` (or ``"none"`` on the
+        CLI) is accepted and passed through.
+    minimum / maximum:
+        Inclusive numeric bounds (ints and floats only).
+    choices:
+        Closed set of admissible values (e.g. CuTS variants).
+    doc:
+        One-line description shown by ``repro-convoy algorithms``.
+    """
+
+    name: str
+    type: type = float
+    default: Any = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[Tuple[Any, ...]] = None
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in PARAM_TYPES:
+            raise ValueError(
+                f"param {self.name!r}: type must be one of "
+                f"{[t.__name__ for t in PARAM_TYPES]}, got {self.type!r}"
+            )
+        if self.default is not None:
+            object.__setattr__(self, "default", self._coerce(self.default))
+
+    @property
+    def nullable(self) -> bool:
+        return self.default is None
+
+    def coerce(self, value: Any, *, algorithm: Optional[str] = None) -> Any:
+        """Validate ``value`` against this declaration; returns the typed value."""
+        try:
+            if value is None or (
+                isinstance(value, str)
+                and value.strip().lower() in _NONE_STRINGS
+            ):
+                if not self.nullable:
+                    raise ValueError(
+                        f"must be {self.type.__name__}, not None"
+                    )
+                return None
+            typed = self._coerce(value)
+            self._check_bounds(typed)
+            return typed
+        except (TypeError, ValueError) as error:
+            raise SchemaError(
+                f"parameter {self.name!r}"
+                + (f" of algorithm {algorithm!r}" if algorithm else "")
+                + f": {error} (got {value!r})",
+                param=self.name,
+                algorithm=algorithm,
+            ) from None
+
+    def _coerce(self, value: Any) -> Any:
+        if self.type is bool:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                try:
+                    return _BOOL_STRINGS[value.strip().lower()]
+                except KeyError:
+                    raise ValueError(
+                        f"must be a boolean ({'/'.join(sorted(_BOOL_STRINGS))})"
+                    ) from None
+            raise ValueError("must be a boolean")
+        if isinstance(value, bool):  # bool is an int subclass: refuse silently
+            raise ValueError(f"must be {self.type.__name__}, not a boolean")
+        if self.type is int:
+            if isinstance(value, int):
+                return int(value)
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str):
+                try:
+                    return int(value.strip())
+                except ValueError:
+                    raise ValueError("must be an integer") from None
+            raise ValueError("must be an integer")
+        if self.type is float:
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                try:
+                    return float(value.strip())
+                except ValueError:
+                    raise ValueError("must be a number") from None
+            raise ValueError("must be a number")
+        # str
+        if isinstance(value, str):
+            return value
+        raise ValueError("must be a string")
+
+    def _check_bounds(self, typed: Any) -> None:
+        if self.choices is not None and typed not in self.choices:
+            raise ValueError(f"must be one of {list(self.choices)}")
+        if self.minimum is not None and typed < self.minimum:
+            raise ValueError(f"must be >= {self.minimum}")
+        if self.maximum is not None and typed > self.maximum:
+            raise ValueError(f"must be <= {self.maximum}")
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready declaration (the wire form served by ``/algorithms``)."""
+        spec: Dict[str, Any] = {
+            "name": self.name,
+            "type": self.type.__name__,
+            "default": self.default,
+        }
+        if self.minimum is not None:
+            spec["minimum"] = self.minimum
+        if self.maximum is not None:
+            spec["maximum"] = self.maximum
+        if self.choices is not None:
+            spec["choices"] = list(self.choices)
+        if self.doc:
+            spec["doc"] = self.doc
+        return spec
+
+    def summary(self) -> str:
+        """Compact human form, e.g. ``theta: float = 0.5 (0 <= . <= 1)``."""
+        text = f"{self.name}: {self.type.__name__} = {self.default!r}"
+        bounds = []
+        if self.minimum is not None:
+            bounds.append(f">= {self.minimum}")
+        if self.maximum is not None:
+            bounds.append(f"<= {self.maximum}")
+        if self.choices is not None:
+            bounds.append(f"in {list(self.choices)}")
+        if bounds:
+            text += f" ({', '.join(bounds)})"
+        if self.doc:
+            text += f" — {self.doc}"
+        return text
+
+
+@dataclass(frozen=True)
+class ParamSchema:
+    """The full extra-parameter schema of one algorithm (possibly empty)."""
+
+    params: Tuple[Param, ...] = ()
+    algorithm: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate parameter names in schema: {names}")
+
+    def __iter__(self) -> Iterator[Param]:
+        return iter(self.params)
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __contains__(self, name: object) -> bool:
+        return any(p.name == name for p in self.params)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def get(self, name: str) -> Optional[Param]:
+        for param in self.params:
+            if param.name == name:
+                return param
+        return None
+
+    def bind(self, algorithm: str) -> "ParamSchema":
+        """The same schema tagged with the owning algorithm's name."""
+        return ParamSchema(self.params, algorithm=algorithm)
+
+    def validate(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate and coerce a parameter mapping.
+
+        Unknown names raise :class:`SchemaError` (message keeps the
+        historical "does not accept" phrasing); known values are coerced
+        to their declared types and bounds-checked.  Omitted parameters
+        stay omitted — the miners keep owning their defaults.
+        """
+        unknown = sorted(set(values) - set(self.names))
+        if unknown:
+            raise SchemaError(
+                (
+                    f"algorithm {self.algorithm!r} " if self.algorithm
+                    else "schema "
+                )
+                + f"does not accept parameters {unknown}; it accepts "
+                + f"{sorted(self.names)}",
+                param=unknown[0],
+                algorithm=self.algorithm,
+            )
+        return {
+            name: self.get(name).coerce(value, algorithm=self.algorithm)
+            for name, value in values.items()
+        }
+
+    def parse_cli(self, pairs: "list[str]") -> Dict[str, Any]:
+        """Parse CLI ``name=value`` tokens through the schema."""
+        values: Dict[str, Any] = {}
+        for pair in pairs:
+            name, sep, raw = pair.partition("=")
+            if not sep or not name:
+                hint = (
+                    f"e.g. {self.names[0]}=..." if self.names
+                    else "but this algorithm takes no extra parameters"
+                )
+                raise SchemaError(
+                    f"bad parameter {pair!r}; expected name=value ({hint})",
+                    param=name or pair,
+                    algorithm=self.algorithm,
+                )
+            values[name] = raw
+        return self.validate(values)
+
+    def describe(self) -> "list[Dict[str, Any]]":
+        return [param.describe() for param in self.params]
+
+
+def schema_of(*params: Param) -> ParamSchema:
+    """Convenience constructor: ``schema_of(Param("theta", float, 0.5))``."""
+    return ParamSchema(tuple(params))

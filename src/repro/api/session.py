@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import tempfile
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -182,12 +182,35 @@ class ConvoySession:
     # -- fluent configuration ------------------------------------------------
 
     def algorithm(self, name: str) -> "ConvoySession":
-        """Choose a registered algorithm by name (validates immediately)."""
-        get_miner(name)
-        return self._replace(algorithm=name)
+        """Choose a registered algorithm by name (validates immediately).
+
+        Already-configured extras are re-validated against the new
+        algorithm's parameter schema, so an incompatible combination
+        fails here rather than at ``mine()`` time.
+        """
+        miner = get_miner(name)
+        session = self._replace(algorithm=name)
+        params = self.config.params
+        if params is not None and params.extra:
+            session = session._replace(
+                params=MiningParams.of(
+                    params.m, params.k, params.eps,
+                    **miner.info.schema.validate(params.extra),
+                )
+            )
+        return session
 
     def params(self, m: int, k: int, eps: float, **extras: Any) -> "ConvoySession":
-        """Set the ``(m, k, eps)`` query plus algorithm-specific extras."""
+        """Set the ``(m, k, eps)`` query plus algorithm-specific extras.
+
+        With an algorithm already chosen, extras are validated and
+        coerced through its typed parameter schema immediately;
+        otherwise validation happens when the algorithm is picked (or at
+        ``mine()`` via the registry).
+        """
+        if extras and self.config.algorithm is not None:
+            schema = get_miner(self.config.algorithm).info.schema
+            extras = schema.validate(extras)
         return self._replace(params=MiningParams.of(m, k, eps, **extras))
 
     def store(self, kind: str, path: Optional[str] = None) -> "ConvoySession":
@@ -214,6 +237,15 @@ class ConvoySession:
         """Validation window: ``"full"``, or a snapshot count (0 disables)."""
         return self._replace(
             serve=dataclasses.replace(self.config.serve, history=window)
+        )
+
+    def workers(self, count: int) -> "ConvoySession":
+        """Thread count for per-shard clustering in ``feed()``/``serve()``.
+
+        ``0`` (the default) keeps shard clustering serial.
+        """
+        return self._replace(
+            serve=dataclasses.replace(self.config.serve, workers=count)
         )
 
     # -- the three run modes -------------------------------------------------
@@ -249,8 +281,15 @@ class ConvoySession:
             self._persist(result.convoys, params.query, dataset)
         return result
 
-    def feed(self) -> ConvoyService:
-        """Open a live snapshot feed (streaming mode); returns the handle."""
+    def feed(
+        self, on_convoy: Optional[Callable[[Convoy], None]] = None
+    ) -> ConvoyService:
+        """Open a live snapshot feed (streaming mode); returns the handle.
+
+        ``on_convoy`` is invoked with each convoy right after it closes
+        and is indexed, so servers and tests can observe completions
+        without polling the result.
+        """
         from ..service.ingest import ConvoyIngestService
         from ..service.sharding import GridSharder
 
@@ -288,18 +327,22 @@ class ConvoySession:
             sharder=sharder,
             index=index,
             history=serve.resolve_history(duration),
+            workers=serve.workers,
+            on_convoy=on_convoy,
         )
         return ConvoyService(
             index, params.query, ingest=service, persisted_to=persisted_to
         )
 
-    def serve(self) -> ConvoyService:
+    def serve(
+        self, on_convoy: Optional[Callable[[Convoy], None]] = None
+    ) -> ConvoyService:
         """Replay the attached dataset through the feed, then return the
         (finished, queryable) service handle."""
         dataset = self._dataset()
         if dataset is None:
             raise ValueError("serve() needs a dataset; use feed() for live data")
-        handle = self.feed()
+        handle = self.feed(on_convoy=on_convoy)
         handle.ingest.ingest(dataset)
         return handle
 

@@ -7,9 +7,10 @@ Examples::
 
     repro-convoy generate --kind brinkhoff --out traffic.csv
     repro-convoy mine traffic.csv -m 3 -k 10 --eps 50 --store lsmt
-    repro-convoy mine traffic.csv -m 3 -k 10 --eps 50 --algorithm cmc
+    repro-convoy mine traffic.csv -m 3 -k 10 --eps 50 --algorithm cuts lam=6
     repro-convoy info traffic.csv
     repro-convoy serve traffic.csv -m 3 -k 10 --eps 50 --index-dir ./idx --shards 2x2
+    repro-convoy serve traffic.csv -m 3 -k 10 --eps 50 --http 8080
     repro-convoy query ./idx --time 10:80
     repro-convoy query ./idx --object 42
 """
@@ -21,7 +22,7 @@ import sys
 import warnings
 from typing import List, Optional
 
-from .api import ConvoySession, list_miners, miner_names
+from .api import ConvoySession, SchemaError, get_miner, list_miners, miner_names
 from .data import (
     generate_brinkhoff,
     generate_tdrive,
@@ -69,6 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="storage backend to mine from",
     )
     mine.add_argument("--stats", action="store_true", help="print mining statistics")
+    mine.add_argument(
+        "params",
+        nargs="*",
+        metavar="name=value",
+        help="algorithm-specific parameters, validated against the "
+        "algorithm's typed schema (see the `algorithms` subcommand)",
+    )
 
     algorithms = commands.add_parser(
         "algorithms", help="list the registered mining algorithms"
@@ -113,6 +121,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--history",
         default="full",
         help="validation window: 'full', or a snapshot count (0 disables)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="threads for per-shard clustering (0 = serial)",
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="after ingesting, keep serving the index over HTTP on PORT "
+        "(0 picks a free port; Ctrl-C stops)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --http (default 127.0.0.1)",
     )
 
     query = commands.add_parser(
@@ -179,14 +206,18 @@ def _generate(args: argparse.Namespace) -> int:
 
 
 def _mine(args: argparse.Namespace) -> int:
-    session = (
-        ConvoySession.from_csv(args.dataset)
-        .algorithm(args.algorithm)
-        .params(m=args.m, k=args.k, eps=args.eps)
-        .read_from(args.store)
-    )
     try:
+        extras = get_miner(args.algorithm).info.schema.parse_cli(args.params)
+        session = (
+            ConvoySession.from_csv(args.dataset)
+            .algorithm(args.algorithm)
+            .params(m=args.m, k=args.k, eps=args.eps, **extras)
+            .read_from(args.store)
+        )
         result = session.mine()
+    except SchemaError as error:  # typed parameter violation
+        print(f"schema error: {error}", file=sys.stderr)
+        return 2
     except ValueError as error:  # e.g. store-incompatible algorithm
         print(str(error), file=sys.stderr)
         return 2
@@ -209,8 +240,9 @@ def _algorithms(args: argparse.Namespace) -> int:
         flags.append("exact" if info.exact else "inexact")
         if info.supports_streaming:
             flags.append("streaming")
-        extras = f"  extras: {', '.join(info.extra_params)}" if info.extra_params else ""
-        print(f"{info.name:<20s} [{', '.join(flags)}] {info.summary}{extras}")
+        print(f"{info.name:<20s} [{', '.join(flags)}] {info.summary}")
+        for param in info.schema:
+            print(f"{'':<20s}   {param.summary()}")
     return 0
 
 
@@ -250,11 +282,13 @@ def _serve(args: argparse.Namespace) -> int:
             )
             return 2
     try:
+        dataset = load_csv(args.dataset)
         session = (
-            ConvoySession.from_csv(args.dataset)
+            ConvoySession.from_dataset(dataset)
             .params(m=args.m, k=args.k, eps=args.eps)
             .shards(args.shards)
             .history(history)
+            .workers(args.workers)
         )
         if args.index_dir:
             session = session.store(backend, args.index_dir)
@@ -264,8 +298,32 @@ def _serve(args: argparse.Namespace) -> int:
         return 2
     _print_convoys(handle.convoys)
     print(f"ingest: {handle.stats.summary()}")
+    if args.http is not None:
+        return _serve_http(handle, dataset, args)
     if args.index_dir:
         print(f"index persisted to {args.index_dir} ({backend})")
+        handle.close()
+    return 0
+
+
+def _serve_http(handle, dataset, args: argparse.Namespace) -> int:
+    """Publish an ingested service over HTTP until interrupted."""
+    import asyncio
+
+    from .server import serve_http
+
+    def on_start(host: str, port: int) -> None:
+        print(f"serving HTTP on http://{host}:{port}  (Ctrl-C stops)",
+              flush=True)
+
+    try:
+        asyncio.run(
+            serve_http(handle, host=args.host, port=args.http,
+                       dataset=dataset, on_start=on_start)
+        )
+    except KeyboardInterrupt:
+        print("\nstopped")
+    finally:
         handle.close()
     return 0
 
@@ -308,7 +366,18 @@ def _info(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    # argparse cannot match a trailing nargs="*" positional once options
+    # intervene (`mine data.csv -m 3 --algorithm cuts lam=6`), so mine's
+    # name=value parameters are collected from the leftovers instead.
+    args, leftover = parser.parse_known_args(argv)
+    if leftover:
+        if args.command == "mine" and all(
+            not token.startswith("-") for token in leftover
+        ):
+            args.params = list(args.params) + leftover
+        else:
+            parser.error(f"unrecognized arguments: {' '.join(leftover)}")
     handlers = {
         "generate": _generate,
         "mine": _mine,

@@ -1,0 +1,586 @@
+"""The asyncio HTTP serving front over a :class:`ConvoyService`.
+
+One :class:`ConvoyServer` exposes a live (or finished) convoy service to
+the network:
+
+========  =================  ==================================================
+method    path               meaning
+========  =================  ==================================================
+GET       /healthz           liveness + index summary
+GET       /stats             ingest / cache / request counters
+GET       /algorithms        the registry with typed parameter schemas
+GET       /convoys           all stored convoys (the maximal set)
+GET       /convoys?...       one of the five query families (below)
+POST      /feed              ingest one snapshot ``{t, oids, xs, ys}``
+POST      /feed/finish       close every open candidate (end of feed)
+POST      /mine              batch-mine the fed points with any algorithm
+========  =================  ==================================================
+
+``GET /convoys`` selectors (exactly one):
+
+* ``between=t1:t2`` — lifespan overlaps the interval,
+* ``object=oid`` — convoy history of one object,
+* ``containing=o1,o2,...`` — convoys containing *all* the objects,
+* ``region=xmin,ymin,xmax,ymax`` — bounding-box overlap,
+* ``open=1[&shard=i]`` — still-open candidates of the live ingest.
+
+**Concurrency model.**  Reads run concurrently on the event loop's
+thread pool, answered from the version-keyed
+:class:`~repro.service.query.ConvoyQueryEngine` cache.  Writes
+(``/feed``, ``/feed/finish``) are serialised through a single-writer
+queue drained by one consumer task, so the ingest pipeline — which is
+single-writer by construction — never sees interleaved snapshots, while
+readers keep streaming results off the immutable published state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+# Submodule imports only (``..api.registry``, not ``..api``): repro.api
+# imports this package for ConvoyClient, so pulling the api *package*
+# here would cycle.
+from ..api.registry import get_miner, list_miners
+from ..api.schema import SchemaError
+from ..core.params import ConvoyQuery
+from ..data.dataset import Dataset
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    convoys_to_wire,
+    error_payload,
+    read_request,
+    response_bytes,
+)
+
+
+@dataclass
+class ServerStats:
+    """Request-side counters (served by ``GET /stats``)."""
+
+    requests: int = 0
+    errors: int = 0
+    reads: int = 0
+    writes: int = 0
+    mines: int = 0
+    by_route: Dict[str, int] = field(default_factory=dict)
+    started_at: float = field(default_factory=time.time)
+
+    def count(self, route: str) -> None:
+        self.requests += 1
+        self.by_route[route] = self.by_route.get(route, 0) + 1
+
+
+class _PointLog:
+    """Append-only log of every snapshot the server has seen.
+
+    ``POST /mine`` batch-mines over this log, so the same server answers
+    both "what closed?" (the index) and "re-mine everything with VCoDA*"
+    (the log).  Appends come only from the single writer; readers take a
+    ``tuple()`` snapshot of the list, which is safe against concurrent
+    appends.
+    """
+
+    def __init__(self, dataset: Optional[Dataset] = None):
+        self._snapshots = []
+        if dataset is not None and len(dataset):
+            for t in dataset.timestamps().tolist():
+                oids, xs, ys = dataset.snapshot(t)
+                self._snapshots.append((int(t), oids, xs, ys))
+
+    def append(self, t: int, oids, xs, ys) -> None:
+        self._snapshots.append((t, oids, xs, ys))
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self._snapshots)
+
+    def dataset(self) -> Dataset:
+        snaps = tuple(self._snapshots)
+        if not snaps:
+            return Dataset.empty()
+        return Dataset(
+            np.concatenate([oids for _, oids, _, _ in snaps]),
+            np.concatenate(
+                [np.full(len(oids), t, dtype=np.int64) for t, oids, _, _ in snaps]
+            ),
+            np.concatenate([xs for _, _, xs, _ in snaps]),
+            np.concatenate([ys for _, _, _, ys in snaps]),
+        )
+
+
+class ConvoyServer:
+    """HTTP front over one convoy service handle.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.api.session.ConvoyService` — live (``feed()``)
+        or finished (``serve()``) or query-only (``open``).  Feeds on a
+        query-only handle answer 400.
+    dataset:
+        Points already replayed into ``service`` before the server
+        started (the CLI's ``serve --http`` path); seeds the point log
+        so ``POST /mine`` covers them.
+    """
+
+    def __init__(self, service, dataset: Optional[Dataset] = None):
+        self.service = service
+        self.stats = ServerStats()
+        self._points = _PointLog(dataset)
+        self._write_queue: "asyncio.Queue[Tuple[Callable[[], Any], asyncio.Future]]" = (
+            asyncio.Queue()
+        )
+        self._writer_task: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop()
+        )
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as error:
+                    self.stats.errors += 1
+                    writer.write(
+                        response_bytes(
+                            error.status,
+                            error_payload(error.status, str(error),
+                                          type_name="ProtocolError"),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload = await self._dispatch(request)
+                if status >= 400:
+                    self.stats.errors += 1
+                writer.write(
+                    response_bytes(status, payload, keep_alive=request.keep_alive)
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Tuple[int, Any]:
+        route = f"{request.method} {request.path}"
+        self.stats.count(route)
+        try:
+            handler = _ROUTES.get((request.method, request.path))
+            if handler is None:
+                if any(path == request.path for _, path in _ROUTES):
+                    return 405, error_payload(
+                        405, f"{request.method} not allowed on {request.path}"
+                    )
+                return 404, error_payload(404, f"no route {request.path}")
+            return await handler(self, request)
+        except ProtocolError as error:
+            return error.status, error_payload(
+                error.status, str(error), type_name="ProtocolError"
+            )
+        except SchemaError as error:
+            return 400, error_payload(
+                400, str(error), type_name="SchemaError",
+                param=error.param, algorithm=error.algorithm,
+            )
+        except (ValueError, KeyError, TypeError) as error:
+            return 400, error_payload(
+                400, str(error), type_name=type(error).__name__
+            )
+        except Exception as error:  # noqa: BLE001 — the server must not die
+            return 500, error_payload(
+                500, f"{type(error).__name__}: {error}",
+                type_name=type(error).__name__,
+            )
+
+    # -- write path (single-writer queue) -------------------------------------
+
+    async def _submit_write(self, job: Callable[[], Any]) -> Any:
+        """Enqueue a mutation; resolves once the single writer applied it."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._write_queue.put((job, future))
+        return await future
+
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job, future = await self._write_queue.get()
+            try:
+                result = await loop.run_in_executor(None, job)
+            except Exception as error:  # noqa: BLE001 — relay to the caller
+                if not future.cancelled():
+                    future.set_exception(error)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                self._write_queue.task_done()
+
+    async def _in_reader(self, fn: Callable[[], Any]) -> Any:
+        """Run a read off the event loop so slow queries don't stall it."""
+        return await asyncio.get_running_loop().run_in_executor(None, fn)
+
+    # -- handlers --------------------------------------------------------------
+
+    async def _get_healthz(self, request: Request) -> Tuple[int, Any]:
+        index = self.service.index
+        return 200, {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "convoys": len(index),
+            "index_version": index.version,
+            "live_feed": self.service.ingest is not None,
+            "snapshots_fed": self._points.num_snapshots,
+            "uptime_seconds": time.time() - self.stats.started_at,
+        }
+
+    async def _get_stats(self, request: Request) -> Tuple[int, Any]:
+        engine = self.service.query
+        ingest = self.service.stats
+        return 200, {
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+            "mines": self.stats.mines,
+            "by_route": self.stats.by_route,
+            "cache": {
+                "hits": engine.cache_stats.hits,
+                "misses": engine.cache_stats.misses,
+                "hit_rate": engine.cache_stats.hit_rate,
+            },
+            "index": {
+                "convoys": len(self.service.index),
+                "version": self.service.index.version,
+            },
+            "ingest": None if ingest is None else {
+                "ticks": ingest.ticks,
+                "points": ingest.points,
+                "clusters": ingest.clusters,
+                "border_merges": ingest.border_merges,
+                "closed_convoys": ingest.closed_convoys,
+                "indexed_convoys": ingest.indexed_convoys,
+            },
+        }
+
+    async def _get_algorithms(self, request: Request) -> Tuple[int, Any]:
+        return 200, {
+            "algorithms": [
+                {
+                    "name": info.name,
+                    "summary": info.summary,
+                    "pattern_kind": info.pattern_kind,
+                    "exact": info.exact,
+                    "supports_streaming": info.supports_streaming,
+                    "params": info.schema.describe(),
+                }
+                for info in list_miners()
+            ]
+        }
+
+    async def _get_convoys(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        engine = self.service.query
+        selectors = [
+            key for key in ("between", "object", "containing", "region", "open")
+            if key in request.query
+        ]
+        if len(selectors) > 1:
+            raise ProtocolError(
+                400, f"pick one selector, got {selectors}"
+            )
+        if not selectors:
+            fn = self.service.index.convoys
+        else:
+            selector = selectors[0]
+            raw = request.query[selector]
+            if selector == "between":
+                start, end = _parse_interval(raw)
+                fn = lambda: engine.time_range(start, end)  # noqa: E731
+            elif selector == "object":
+                oid = _parse_int(raw, "object")
+                fn = lambda: engine.object_history(oid)  # noqa: E731
+            elif selector == "containing":
+                oids = _parse_int_list(raw, "containing")
+                fn = lambda: engine.containing(oids)  # noqa: E731
+            elif selector == "region":
+                rect = _parse_region(raw)
+                fn = lambda: engine.region(rect)  # noqa: E731
+            else:  # open
+                shard = (
+                    _parse_int(request.query["shard"], "shard")
+                    if "shard" in request.query else None
+                )
+                fn = lambda: engine.open_candidates(shard)  # noqa: E731
+        try:
+            convoys = await self._in_reader(fn)
+        except ValueError as error:
+            raise ProtocolError(400, str(error)) from None
+        return 200, convoys_to_wire(convoys)
+
+    async def _post_feed(self, request: Request) -> Tuple[int, Any]:
+        if self.service.ingest is None:
+            raise ProtocolError(
+                400, "this server is query-only (opened over a persisted "
+                "index); /feed needs a live service"
+            )
+        self.stats.writes += 1
+        body = request.json()
+        t, oids, xs, ys = _parse_snapshot(body)
+
+        def job():
+            closed = self.service.ingest.observe(t, oids, xs, ys)
+            self._points.append(t, oids, xs, ys)
+            return closed
+
+        closed = await self._submit_write(job)
+        return 200, {"t": t, "ingested": int(len(oids)), **convoys_to_wire(closed)}
+
+    async def _post_finish(self, request: Request) -> Tuple[int, Any]:
+        if self.service.ingest is None:
+            raise ProtocolError(400, "this server is query-only; nothing to finish")
+        self.stats.writes += 1
+        closed = await self._submit_write(self.service.ingest.finish)
+        return 200, convoys_to_wire(closed)
+
+    async def _post_mine(self, request: Request) -> Tuple[int, Any]:
+        self.stats.mines += 1
+        body = request.json()
+        if not isinstance(body, dict):
+            raise ProtocolError(400, "mine body must be a JSON object")
+        algorithm = body.get("algorithm", "k2hop")
+        miner = get_miner(str(algorithm))
+        try:
+            query = ConvoyQuery(
+                m=int(body["m"]), k=int(body["k"]), eps=float(body["eps"])
+            )
+        except KeyError as missing:
+            raise ProtocolError(
+                400, f"mine body needs m, k and eps (missing {missing})"
+            ) from None
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError(400, "params must be a JSON object")
+        extras = miner.info.schema.validate(params)  # SchemaError -> 400
+
+        def job():
+            dataset = self._points.dataset()
+            if not len(dataset):
+                return [], None
+            result = miner.mine(dataset, query, **extras)
+            return result.convoys, result.stats
+
+        convoys, stats = await self._in_reader(job)
+        payload = convoys_to_wire(convoys)
+        payload["algorithm"] = miner.info.name
+        if stats is not None:
+            payload["total_points"] = stats.total_points
+        return 200, payload
+
+
+_ROUTES: Dict[Tuple[str, str], Callable] = {
+    ("GET", "/healthz"): ConvoyServer._get_healthz,
+    ("GET", "/stats"): ConvoyServer._get_stats,
+    ("GET", "/algorithms"): ConvoyServer._get_algorithms,
+    ("GET", "/convoys"): ConvoyServer._get_convoys,
+    ("POST", "/feed"): ConvoyServer._post_feed,
+    ("POST", "/feed/finish"): ConvoyServer._post_finish,
+    ("POST", "/mine"): ConvoyServer._post_mine,
+}
+
+
+# -- request parsing helpers -------------------------------------------------
+
+
+def _parse_int(raw: str, name: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ProtocolError(400, f"bad {name} {raw!r}; expected an integer") from None
+
+
+def _parse_interval(raw: str) -> Tuple[int, int]:
+    parts = raw.split(":")
+    if len(parts) != 2:
+        raise ProtocolError(400, f"bad between {raw!r}; expected start:end")
+    return _parse_int(parts[0], "between"), _parse_int(parts[1], "between")
+
+
+def _parse_int_list(raw: str, name: str) -> Tuple[int, ...]:
+    return tuple(
+        _parse_int(part, name) for part in raw.split(",") if part != ""
+    )
+
+
+def _parse_region(raw: str) -> Tuple[float, float, float, float]:
+    parts = raw.split(",")
+    if len(parts) != 4:
+        raise ProtocolError(
+            400, f"bad region {raw!r}; expected xmin,ymin,xmax,ymax"
+        )
+    try:
+        xmin, ymin, xmax, ymax = (float(part) for part in parts)
+    except ValueError:
+        raise ProtocolError(400, f"bad region {raw!r}; coordinates must be numbers") from None
+    return xmin, ymin, xmax, ymax
+
+
+def _parse_snapshot(body: Any):
+    if not isinstance(body, dict):
+        raise ProtocolError(400, "feed body must be a JSON object")
+    try:
+        t = int(body["t"])
+        oids = np.asarray(body["oids"], dtype=np.int64)
+        xs = np.asarray(body["xs"], dtype=np.float64)
+        ys = np.asarray(body["ys"], dtype=np.float64)
+    except KeyError as missing:
+        raise ProtocolError(
+            400, f"feed body needs t, oids, xs, ys (missing {missing})"
+        ) from None
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(400, f"bad feed body: {error}") from None
+    if not (len(oids) == len(xs) == len(ys)):
+        raise ProtocolError(
+            400,
+            f"oids/xs/ys must align: {len(oids)}/{len(xs)}/{len(ys)} rows",
+        )
+    return t, oids, xs, ys
+
+
+# -- embedding helpers --------------------------------------------------------
+
+
+class HttpServerHandle:
+    """A server running on a background thread (tests, examples, benches).
+
+    Use as a context manager, or call :meth:`stop` explicitly::
+
+        with serve_in_background(service) as handle:
+            client = ConvoyClient("127.0.0.1", handle.port)
+    """
+
+    def __init__(self, host: str, port: int, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop, stopper: Callable[[], None]):
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+        self._stopper = stopper
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stopper)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "HttpServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_background(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    dataset: Optional[Dataset] = None,
+) -> HttpServerHandle:
+    """Start a :class:`ConvoyServer` on its own thread and event loop.
+
+    ``port=0`` binds an ephemeral port; read it off the returned handle.
+    """
+    started: "queue.Queue" = queue.Queue()
+
+    def run() -> None:
+        async def main() -> None:
+            server = ConvoyServer(service, dataset=dataset)
+            stop_event = asyncio.Event()
+            bound_host, bound_port = await server.start(host, port)
+            started.put(
+                (bound_host, bound_port, asyncio.get_running_loop(), stop_event.set)
+            )
+            await stop_event.wait()
+            await server.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # noqa: BLE001 — relay to the caller
+            # Any startup failure (bind error or otherwise) must reach the
+            # waiting foreground thread instead of dying silently here.
+            started.put(error)
+
+    thread = threading.Thread(target=run, name="repro-http", daemon=True)
+    thread.start()
+    result = started.get(timeout=30)
+    if isinstance(result, BaseException):
+        raise result
+    bound_host, bound_port, loop, stopper = result
+    return HttpServerHandle(bound_host, bound_port, thread, loop, stopper)
+
+
+async def serve_http(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    dataset: Optional[Dataset] = None,
+    on_start: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Run the server on the current event loop until cancelled (CLI path)."""
+    server = ConvoyServer(service, dataset=dataset)
+    bound_host, bound_port = await server.start(host, port)
+    if on_start is not None:
+        on_start(bound_host, bound_port)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

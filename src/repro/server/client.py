@@ -1,0 +1,212 @@
+"""``ConvoyClient`` — a blocking Python client for the HTTP serving front.
+
+The client mirrors the in-process
+:class:`~repro.api.session.ConvoyService` surface, so the same program
+runs locally or against a remote server by swapping one constructor::
+
+    service = ConvoySession.from_dataset(ds).params(m=3, k=10, eps=50).serve()
+    # ... or, with a server running elsewhere:
+    service = ConvoyClient("convoys.example.com", 8080)
+
+    rush_hour = service.query.time_range(20, 35)
+    history = service.query.object_history(7)
+
+Wire errors come back as typed exceptions: a schema violation raised by
+the server re-raises as :class:`~repro.api.schema.SchemaError` with the
+offending parameter name intact; anything else raises
+:class:`ConvoyServerError` carrying the HTTP status and the server's
+error envelope.
+
+Built on :mod:`http.client` (stdlib), one keep-alive connection per
+client instance.  Instances are not thread-safe — use one per thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlencode
+
+from ..api.schema import SchemaError
+from ..core.types import Convoy
+from .protocol import convoys_from_wire
+
+BBox = Tuple[float, float, float, float]
+
+
+class ConvoyServerError(RuntimeError):
+    """A non-2xx response from the convoy server."""
+
+    def __init__(self, status: int, message: str, *,
+                 type_name: str = "Error", payload: Optional[dict] = None):
+        super().__init__(f"[{status}] {type_name}: {message}")
+        self.status = status
+        self.type_name = type_name
+        self.payload = payload or {}
+
+
+class _ClientQueryEngine:
+    """The read API, shaped like :class:`~repro.service.query.ConvoyQueryEngine`."""
+
+    def __init__(self, client: "ConvoyClient"):
+        self._client = client
+
+    def time_range(self, start: int, end: int) -> List[Convoy]:
+        return self._client._get_convoys({"between": f"{start}:{end}"})
+
+    def object_history(self, oid: int) -> List[Convoy]:
+        return self._client._get_convoys({"object": str(int(oid))})
+
+    def containing(self, oids: Sequence[int]) -> List[Convoy]:
+        joined = ",".join(str(int(o)) for o in oids)
+        return self._client._get_convoys({"containing": joined})
+
+    def region(self, region: BBox) -> List[Convoy]:
+        joined = ",".join(repr(float(v)) for v in region)
+        return self._client._get_convoys({"region": joined})
+
+    def open_candidates(self, shard: Optional[int] = None) -> List[Convoy]:
+        params = {"open": "1"}
+        if shard is not None:
+            params["shard"] = str(int(shard))
+        return self._client._get_convoys(params)
+
+
+class ConvoyClient:
+    """Blocking HTTP client speaking the convoy server's wire format."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self.query = _ClientQueryEngine(self)
+
+    # -- the ConvoyService-shaped surface -------------------------------------
+
+    @property
+    def convoys(self) -> List[Convoy]:
+        """Every indexed convoy (the maximal set), deterministically ordered."""
+        return self._get_convoys({})
+
+    def open_candidates(self, shard: Optional[int] = None) -> List[Convoy]:
+        return self.query.open_candidates(shard)
+
+    def observe(self, t: int, oids: Sequence[int], xs: Sequence[float],
+                ys: Sequence[float]) -> List[Convoy]:
+        """Push one snapshot into the server's feed; returns closed convoys."""
+        payload = self._request("POST", "/feed", {
+            "t": int(t),
+            "oids": [int(o) for o in oids],
+            "xs": [float(x) for x in xs],
+            "ys": [float(y) for y in ys],
+        })
+        return convoys_from_wire(payload)
+
+    def finish(self) -> List[Convoy]:
+        """Close every open candidate (end of feed)."""
+        return convoys_from_wire(self._request("POST", "/feed/finish"))
+
+    def mine(self, m: int, k: int, eps: float, *, algorithm: str = "k2hop",
+             **params: Any) -> List[Convoy]:
+        """Batch-mine every point the server has seen with any algorithm.
+
+        ``params`` are the algorithm's schema-declared extras; violations
+        raise :class:`SchemaError` exactly like the in-process API.
+        """
+        payload = self._request("POST", "/mine", {
+            "algorithm": algorithm, "m": int(m), "k": int(k),
+            "eps": float(eps), "params": params,
+        })
+        return convoys_from_wire(payload)
+
+    # -- introspection --------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def algorithms(self) -> List[Dict[str, Any]]:
+        """The server's registry with typed parameter schemas."""
+        return self._request("GET", "/algorithms")["algorithms"]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ConvoyClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire internals -------------------------------------------------------
+
+    def _get_convoys(self, params: Dict[str, str]) -> List[Convoy]:
+        target = "/convoys"
+        if params:
+            # urlencode, not naive joining: float reprs can contain '+'
+            # (scientific notation), which parse_qsl would decode as a
+            # space and mangle the number.
+            target += "?" + urlencode(params)
+        return convoys_from_wire(self._request("GET", target))
+
+    def _request(self, method: str, target: str, body: Any = None) -> Any:
+        encoded = None if body is None else json.dumps(body).encode()
+        headers = {} if encoded is None else {
+            "Content-Type": "application/json"
+        }
+        try:
+            response = self._round_trip(method, target, encoded, headers)
+        except (http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError) as error:
+            self.close()
+            raise ConvoyServerError(
+                0, f"cannot reach convoy server at {self.host}:{self.port} "
+                f"({error})", type_name="ConnectionError",
+            ) from error
+        raw = response.read()
+        payload = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            self._raise_for(response.status, payload)
+        return payload
+
+    def _round_trip(self, method, target, encoded, headers):
+        """One request/response, reconnecting once on a dropped keep-alive."""
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, target, body=encoded, headers=headers)
+                return self._conn.getresponse()
+            except (http.client.NotConnected, http.client.CannotSendRequest,
+                    BrokenPipeError, ConnectionResetError):
+                # The server (legitimately) dropped the idle connection;
+                # reconnect once before giving up.
+                self.close()
+                if attempt == 2:
+                    raise
+
+    def _raise_for(self, status: int, payload: Any) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message", "unknown server error")
+        type_name = error.get("type", "Error")
+        if type_name == "SchemaError":
+            raise SchemaError(
+                message,
+                param=error.get("param"),
+                algorithm=error.get("algorithm"),
+            )
+        raise ConvoyServerError(
+            status, message, type_name=type_name, payload=error
+        )

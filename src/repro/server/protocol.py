@@ -1,0 +1,209 @@
+"""Minimal HTTP/1.1 + JSON wire protocol, stdlib only.
+
+The serving front speaks plain HTTP/1.1 over asyncio streams so any
+client — ``curl``, a browser, the bundled
+:class:`~repro.server.client.ConvoyClient` — can talk to it without
+pulling a web framework into the dependency set.  This module owns the
+two halves of the wire:
+
+* **transport** — :func:`read_request` parses one request (line, headers,
+  ``Content-Length`` body) off a stream reader; :func:`response_bytes`
+  renders a response.  Persistent connections (keep-alive) are the
+  default, as HTTP/1.1 specifies.
+* **representation** — convoys travel as
+  ``{"objects": [...], "start": t, "end": t}`` objects
+  (:func:`convoy_to_wire` / :func:`convoy_from_wire`); errors as
+  ``{"error": {"status": ..., "type": ..., "message": ...}}``
+  envelopes that :class:`~repro.server.client.ConvoyClient` converts
+  back into typed Python exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..core.types import Convoy
+
+#: Wire-protocol revision advertised by ``/healthz``.
+PROTOCOL_VERSION = 1
+
+#: Hard parse limits: a header block / body larger than this is an attack
+#: or a bug, not a workload.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP on the wire; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        """The request body decoded as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(400, f"request body is not valid JSON: {error}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`ProtocolError` on malformed or oversized input — the
+    connection handler answers with the carried status and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # client closed between requests: normal keep-alive end
+        raise ProtocolError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "header block too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(413, "header block too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ProtocolError(501, "chunked request bodies are not supported")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length {length!r}") from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body of {n} bytes exceeds the limit")
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(400, "connection closed mid-body") from None
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query, keep_blank_values=True)}
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: Any = None,
+    *,
+    keep_alive: bool = True,
+    content_type: str = "application/json",
+) -> bytes:
+    """Render one HTTP/1.1 response.  ``payload`` is JSON-encoded unless
+    it is already ``bytes``."""
+    if payload is None:
+        body = b""
+    elif isinstance(payload, bytes):
+        body = payload
+    else:
+        body = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def error_payload(
+    status: int,
+    message: str,
+    *,
+    type_name: str = "Error",
+    **details: Any,
+) -> Dict[str, Any]:
+    """The standard error envelope served on every non-2xx response."""
+    error: Dict[str, Any] = {
+        "status": status,
+        "type": type_name,
+        "message": message,
+    }
+    error.update({k: v for k, v in details.items() if v is not None})
+    return {"error": error}
+
+
+# -- value representation ----------------------------------------------------
+
+
+def convoy_to_wire(convoy: Convoy) -> Dict[str, Any]:
+    return {
+        "objects": sorted(convoy.objects),
+        "start": convoy.start,
+        "end": convoy.end,
+    }
+
+
+def convoy_from_wire(obj: Dict[str, Any]) -> Convoy:
+    return Convoy.of(obj["objects"], int(obj["start"]), int(obj["end"]))
+
+
+def convoys_to_wire(convoys: Sequence[Convoy]) -> Dict[str, Any]:
+    """The response shape of every convoy-returning endpoint."""
+    return {
+        "convoys": [convoy_to_wire(c) for c in convoys],
+        "count": len(convoys),
+    }
+
+
+def convoys_from_wire(payload: Dict[str, Any]) -> List[Convoy]:
+    return [convoy_from_wire(obj) for obj in payload["convoys"]]

@@ -48,6 +48,22 @@ from .records import (
 BBox = Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
 
 
+def _retry_copy(copy):
+    """Copy a live container, retrying if the single writer resizes it.
+
+    The serving front reads from a thread pool while one writer mutates
+    the hot dicts/sets; copying mid-resize raises ``RuntimeError``
+    ("changed size during iteration").  Each write is bounded, so
+    retrying the (cheap) copy terminates quickly; the result is a
+    point-in-time snapshot the caller can iterate freely.
+    """
+    while True:
+        try:
+            return copy()
+        except RuntimeError:
+            continue
+
+
 @dataclass(frozen=True)
 class IndexedConvoy:
     """One stored convoy plus its serving metadata."""
@@ -71,9 +87,17 @@ class _RegionGrid:
     ingest, then many queries — so one O(n) rebuild amortises over the
     whole read phase).  A region query probes only the cells its
     rectangle overlaps instead of scanning every record.
+
+    The grid is *self-contained*: it carries its own ``{cid: bbox}``
+    snapshot taken at build time, so a query never touches the index's
+    live record dict.  Builders construct a complete local grid and only
+    then publish it with one attribute store — concurrent readers either
+    see the old fully-built grid or the new one, never a half-built
+    state, and the single writer can keep mutating records throughout
+    (the HTTP front serves parallel reads off exactly this path).
     """
 
-    __slots__ = ("version", "nx", "ny", "x0", "y0", "cw", "ch", "cells")
+    __slots__ = ("version", "nx", "ny", "x0", "y0", "cw", "ch", "cells", "bboxes")
 
     def __init__(self, version: int):
         self.version = version
@@ -81,26 +105,30 @@ class _RegionGrid:
         self.x0 = self.y0 = 0.0
         self.cw = self.ch = 1.0
         self.cells: Dict[Tuple[int, int], List[int]] = {}
+        self.bboxes: Dict[int, BBox] = {}
 
     @staticmethod
-    def build(version: int, records: Dict[int, "IndexedConvoy"]) -> "_RegionGrid":
+    def build(
+        version: int, records: Sequence[Tuple[int, "IndexedConvoy"]]
+    ) -> "_RegionGrid":
         grid = _RegionGrid(version)
-        boxes = [
-            (cid, record.bbox)
-            for cid, record in records.items()
+        grid.bboxes = {
+            cid: record.bbox
+            for cid, record in records
             if record.bbox is not None
-        ]
-        if not boxes:
+        }
+        if not grid.bboxes:
             return grid
-        grid.x0 = min(b[1][0] for b in boxes)
-        grid.y0 = min(b[1][1] for b in boxes)
-        x1 = max(b[1][2] for b in boxes)
-        y1 = max(b[1][3] for b in boxes)
-        resolution = min(_MAX_GRID_CELLS, max(1, math.isqrt(len(boxes))))
+        boxes = grid.bboxes.values()
+        grid.x0 = min(b[0] for b in boxes)
+        grid.y0 = min(b[1] for b in boxes)
+        x1 = max(b[2] for b in boxes)
+        y1 = max(b[3] for b in boxes)
+        resolution = min(_MAX_GRID_CELLS, max(1, math.isqrt(len(grid.bboxes))))
         grid.nx = grid.ny = resolution
         grid.cw = max((x1 - grid.x0) / resolution, 1e-12)
         grid.ch = max((y1 - grid.y0) / resolution, 1e-12)
-        for cid, bbox in boxes:
+        for cid, bbox in grid.bboxes.items():
             for cell in grid._cells_over(bbox):
                 grid.cells.setdefault(cell, []).append(cid)
         return grid
@@ -119,9 +147,7 @@ class _RegionGrid:
         iy1 = clamp(int((rect[3] - self.y0) / self.ch), self.ny)
         return ix0, iy0, ix1, iy1
 
-    def query(
-        self, region: BBox, records: Dict[int, "IndexedConvoy"]
-    ) -> List[int]:
+    def query(self, region: BBox) -> List[int]:
         if not self.cells:
             return []
         xmin, ymin, xmax, ymax = region
@@ -131,8 +157,7 @@ class _RegionGrid:
         return sorted(
             cid
             for cid in candidates
-            if (bbox := records[cid].bbox) is not None
-            and bbox[0] <= xmax
+            if (bbox := self.bboxes[cid])[0] <= xmax
             and xmin <= bbox[2]
             and bbox[1] <= ymax
             and ymin <= bbox[3]
@@ -309,7 +334,10 @@ class ConvoyIndex:
 
     def convoys(self) -> List[Convoy]:
         """Every stored convoy (the maximal set), deterministically ordered."""
-        return sort_convoys(r.convoy for r in self._records.values())
+        return sort_convoys(
+            record.convoy
+            for record in _retry_copy(lambda: list(self._records.values()))
+        )
 
     def ids_overlapping(self, start: int, end: int) -> List[int]:
         """Convoys whose lifespan intersects ``[start, end]``.
@@ -318,14 +346,20 @@ class ConvoyIndex:
         ending at or after ``start``, then filter by start time.
         """
         first = bisect_left(self._by_end, (start, -1))
+        # The slice is one atomic list copy; a concurrently evicted cid
+        # then simply misses its record and is skipped.
         return [
             cid
             for _, cid in self._by_end[first:]
-            if self._records[cid].convoy.start <= end
+            if (record := self._records.get(cid)) is not None
+            and record.convoy.start <= end
         ]
 
     def ids_of_object(self, oid: int) -> List[int]:
-        return sorted(self._by_object.get(oid, ()))
+        ids = self._by_object.get(oid)
+        if ids is None:
+            return []
+        return sorted(_retry_copy(lambda: list(ids)))
 
     def ids_containing(self, oids: Sequence[int]) -> List[int]:
         """Convoys whose member set contains *all* the given objects."""
@@ -336,7 +370,9 @@ class ConvoyIndex:
                 return []
             wanted |= 1 << bit
         return [
-            cid for cid, mask in self._masks.items() if wanted & mask == wanted
+            cid
+            for cid, mask in _retry_copy(lambda: list(self._masks.items()))
+            if wanted & mask == wanted
         ]
 
     def ids_in_region(self, region: BBox, use_grid: bool = True) -> List[int]:
@@ -351,16 +387,25 @@ class ConvoyIndex:
             return self._scan_region_linear(region)
         grid = self._region_grid
         if grid is None or grid.version != self.version:
-            grid = self._region_grid = _RegionGrid.build(
-                self.version, self._records
-            )
-        return grid.query(region, self._records)
+            # Concurrent-reader safety: snapshot the version *before* the
+            # records (a racing write then only makes the grid look stale,
+            # never fresh), build a complete local grid, and publish it
+            # with a single store.  Readers holding the old grid keep
+            # answering from its own bbox snapshot.
+            version = self.version
+            grid = _RegionGrid.build(version, self._snapshot_records())
+            self._region_grid = grid
+        return grid.query(region)
+
+    def _snapshot_records(self) -> List[Tuple[int, IndexedConvoy]]:
+        """A point-in-time copy of the record table, safe under one writer."""
+        return _retry_copy(lambda: list(self._records.items()))
 
     def _scan_region_linear(self, region: BBox) -> List[int]:
         xmin, ymin, xmax, ymax = region
         return sorted(
             cid
-            for cid, record in self._records.items()
+            for cid, record in self._snapshot_records()
             if record.bbox is not None
             and record.bbox[0] <= xmax
             and xmin <= record.bbox[2]

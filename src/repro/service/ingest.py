@@ -76,6 +76,11 @@ class ConvoyIngestService:
         CMC/PCCD).
     on_convoy:
         Callback invoked with each convoy after it is indexed.
+    workers:
+        Thread count for per-shard snapshot clustering; ``0`` (the
+        default) clusters shards serially on the caller's thread.  The
+        reconcile/monitor steps stay serial either way, so results are
+        identical.
     """
 
     def __init__(
@@ -85,13 +90,18 @@ class ConvoyIngestService:
         index: Optional[ConvoyIndex] = None,
         history: int = 0,
         on_convoy: Optional[Callable[[Convoy], None]] = None,
+        workers: int = 0,
     ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         self.query = query
         self.sharder = sharder
         self.index = index if index is not None else ConvoyIndex()
         self.on_convoy = on_convoy
         self.stats = IngestStats()
         self._n_shards = sharder.n_shards if sharder is not None else 1
+        self.workers = workers if self._n_shards > 1 else 0
+        self._pool = None  # created lazily on the first parallel observe
         # With one shard the global chain IS the shard monitor; running a
         # second identical candidate chain would double the work per tick.
         self._shard_monitors = (
@@ -123,16 +133,9 @@ class ConvoyIngestService:
                 oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
             )
         else:
-            for monitor, view in zip(
-                self._shard_monitors, self.sharder.route(oid_arr, xs_arr, ys_arr)
-            ):
-                pairs = (
-                    cluster_snapshot_with_cores(
-                        view.oids, view.xs, view.ys, self.query.eps, self.query.m
-                    )
-                    if len(view.oids)
-                    else []
-                )
+            views = list(self.sharder.route(oid_arr, xs_arr, ys_arr))
+            per_shard = self._cluster_views(views)
+            for monitor, view, pairs in zip(self._shard_monitors, views, per_shard):
                 monitor.observe_clusters(t, [members for members, _ in pairs])
                 self.stats.halo_copies += view.halo_count
                 fragments.extend(pairs)
@@ -153,6 +156,9 @@ class ConvoyIngestService:
         closed = self._chain.finish()
         self._publish(closed)
         self.index.flush()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         return closed
 
     def ingest(self, dataset: Dataset) -> List[Convoy]:
@@ -189,6 +195,27 @@ class ConvoyIngestService:
         return self._shard_monitors[shard].open_candidates()
 
     # -- internals ------------------------------------------------------------
+
+    def _cluster_views(self, views) -> List[List[Fragment]]:
+        """Cluster every shard view, on worker threads when configured."""
+
+        def one(view) -> List[Fragment]:
+            if not len(view.oids):
+                return []
+            return cluster_snapshot_with_cores(
+                view.oids, view.xs, view.ys, self.query.eps, self.query.m
+            )
+
+        if not self.workers:
+            return [one(view) for view in views]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(self.workers, self._n_shards),
+                thread_name_prefix="repro-ingest",
+            )
+        return list(self._pool.map(one, views))
 
     def _publish(self, convoys: List[Convoy]) -> None:
         for convoy in convoys:

@@ -17,6 +17,7 @@ being reachable and age out of the LRU — no invalidation scan needed.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -50,6 +51,12 @@ class ConvoyQueryEngine:
         self._ingest = ingest
         self._cache: "OrderedDict[Tuple, Tuple[Convoy, ...]]" = OrderedDict()
         self._cache_size = cache_size
+        # The HTTP front fires queries from a reader thread pool; the LRU
+        # bookkeeping (move_to_end / popitem) is not safe to interleave,
+        # so it runs under a lock.  Computation happens outside the lock
+        # — two threads racing on the same cold key both compute, which
+        # is idempotent and cheaper than serialising every miss.
+        self._cache_lock = threading.Lock()
         self.cache_stats = CacheStats()
 
     # -- queries -------------------------------------------------------------
@@ -105,16 +112,18 @@ class ConvoyQueryEngine:
 
     def _cached(self, key: Tuple, compute: Callable[[], List[Convoy]]) -> List[Convoy]:
         versioned = (self._index.version,) + key
-        cached = self._cache.get(versioned)
-        if cached is not None:
-            self._cache.move_to_end(versioned)
-            self.cache_stats.hits += 1
-            return list(cached)  # callers may mutate their copy freely
-        self.cache_stats.misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(versioned)
+            if cached is not None:
+                self._cache.move_to_end(versioned)
+                self.cache_stats.hits += 1
+                return list(cached)  # callers may mutate their copy freely
+            self.cache_stats.misses += 1
         result = compute()
-        self._cache[versioned] = tuple(result)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[versioned] = tuple(result)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
         return result
 
     def _materialise(self, ids: Sequence[int]) -> List[Convoy]:

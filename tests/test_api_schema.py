@@ -1,0 +1,207 @@
+"""Typed parameter schemas: coercion, bounds, wiring into session and CLI."""
+
+import pytest
+
+from repro.api import (
+    ConvoySession,
+    MinerInfo,
+    Param,
+    ParamSchema,
+    SchemaError,
+    get_miner,
+    list_miners,
+    schema_of,
+)
+from repro.data import plant_convoys
+
+
+class TestParamCoercion:
+    def test_int_round_trip(self):
+        param = Param("lam", int, default=None, minimum=2)
+        assert param.coerce(6) == 6
+        assert param.coerce("6") == 6
+        assert param.coerce(6.0) == 6
+
+    def test_float_round_trip(self):
+        param = Param("theta", float, default=0.5)
+        assert param.coerce(0.25) == 0.25
+        assert param.coerce("0.25") == 0.25
+        assert param.coerce(1) == 1.0 and isinstance(param.coerce(1), float)
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("true", True), ("yes", True), ("1", True), ("on", True),
+         ("false", False), ("no", False), ("0", False), (True, True),
+         (False, False)],
+    )
+    def test_bool_parsing(self, raw, expected):
+        param = Param("fully_connected", bool, default=True)
+        assert param.coerce(raw) is expected
+
+    def test_string_choices(self):
+        param = Param("variant", str, default="cuts",
+                      choices=("cuts", "cuts+", "cuts*"))
+        assert param.coerce("cuts+") == "cuts+"
+        with pytest.raises(SchemaError, match="one of"):
+            param.coerce("cutz")
+
+    def test_nullable_accepts_none_forms(self):
+        param = Param("lam", int, default=None, minimum=2)
+        assert param.coerce(None) is None
+        assert param.coerce("none") is None
+        assert param.coerce("null") is None
+
+    def test_non_nullable_rejects_none(self):
+        param = Param("delta", float, default=2.0)
+        with pytest.raises(SchemaError, match="not None"):
+            param.coerce(None)
+
+    @pytest.mark.parametrize("bad", ["x", "1.5", [], {}])
+    def test_bad_int_rejected(self, bad):
+        param = Param("lam", int, default=None)
+        with pytest.raises(SchemaError, match="integer"):
+            param.coerce(bad)
+
+    def test_bool_not_silently_accepted_as_int(self):
+        param = Param("lam", int, default=None)
+        with pytest.raises(SchemaError, match="boolean"):
+            param.coerce(True)
+
+    def test_bounds_enforced(self):
+        param = Param("theta", float, default=0.5, minimum=0.0, maximum=1.0)
+        assert param.coerce(0.0) == 0.0
+        assert param.coerce(1.0) == 1.0
+        with pytest.raises(SchemaError, match=">= 0.0"):
+            param.coerce(-0.1)
+        with pytest.raises(SchemaError, match="<= 1.0"):
+            param.coerce(1.1)
+
+    def test_error_names_param_and_algorithm(self):
+        param = Param("theta", float, default=0.5, maximum=1.0)
+        with pytest.raises(SchemaError) as excinfo:
+            param.coerce(2.0, algorithm="moving_clusters")
+        assert excinfo.value.param == "theta"
+        assert excinfo.value.algorithm == "moving_clusters"
+        assert "theta" in str(excinfo.value)
+
+    def test_schema_error_is_both_type_and_value_error(self):
+        error = SchemaError("boom", param="x")
+        assert isinstance(error, TypeError)
+        assert isinstance(error, ValueError)
+
+
+class TestParamSchema:
+    def test_unknown_name_rejected_with_does_not_accept(self):
+        schema = schema_of(Param("theta", float, default=0.5)).bind("mc")
+        with pytest.raises(SchemaError, match="does not accept"):
+            schema.validate({"thetta": 0.5})
+
+    def test_validate_coerces_values(self):
+        schema = schema_of(Param("lam", int, default=None),
+                           Param("delta", float, default=2.0))
+        assert schema.validate({"lam": "6", "delta": "1.5"}) == {
+            "lam": 6, "delta": 1.5,
+        }
+
+    def test_omitted_params_stay_omitted(self):
+        schema = schema_of(Param("theta", float, default=0.5))
+        assert schema.validate({}) == {}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ParamSchema((Param("a", int, default=1), Param("a", int, default=2)))
+
+    def test_parse_cli_round_trip(self):
+        schema = get_miner("cuts").info.schema
+        parsed = schema.parse_cli(["lam=6", "variant=cuts+", "fully_connected=no"])
+        assert parsed == {"lam": 6, "variant": "cuts+", "fully_connected": False}
+
+    def test_parse_cli_rejects_bare_token(self):
+        schema = get_miner("cuts").info.schema
+        with pytest.raises(SchemaError, match="name=value"):
+            schema.parse_cli(["lam"])
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        for info in list_miners():
+            json.dumps(info.schema.describe())  # must not raise
+
+    def test_extra_params_property_derives_names(self):
+        info = get_miner("cuts").info
+        assert info.extra_params == ("lam", "delta", "variant", "fully_connected")
+        assert get_miner("k2hop").info.extra_params == ()
+
+    def test_minerinfo_default_schema_is_empty(self):
+        info = MinerInfo(name="x", summary="s", module="m")
+        assert len(info.schema) == 0
+
+
+class TestSchemaInSession:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return plant_convoys(
+            n_convoys=2, convoy_size=3, convoy_duration=15, n_noise=8,
+            duration=30, seed=5,
+        )
+
+    def test_params_after_algorithm_validate_eagerly(self, workload):
+        session = ConvoySession.from_dataset(workload.dataset).algorithm(
+            "moving_clusters"
+        )
+        with pytest.raises(SchemaError, match="theta"):
+            session.params(m=3, k=10, eps=workload.eps, theta=2.0)
+
+    def test_algorithm_after_params_validates_extras(self, workload):
+        session = ConvoySession.from_dataset(workload.dataset).params(
+            m=3, k=10, eps=workload.eps, theta=0.5
+        )
+        with pytest.raises(SchemaError, match="does not accept"):
+            session.algorithm("k2hop")
+
+    def test_coerced_strings_reach_the_miner(self, workload):
+        result = (
+            ConvoySession.from_dataset(workload.dataset)
+            .algorithm("moving_clusters")
+            .params(m=3, k=10, eps=workload.eps, theta="0.5")
+            .mine()
+        )
+        typed = (
+            ConvoySession.from_dataset(workload.dataset)
+            .algorithm("moving_clusters")
+            .params(m=3, k=10, eps=workload.eps, theta=0.5)
+            .mine()
+        )
+        assert result.convoys == typed.convoys
+
+    def test_registry_mine_coerces_and_rejects(self, workload):
+        from repro.core import ConvoyQuery
+
+        miner = get_miner("moving_clusters")
+        query = ConvoyQuery(m=3, k=10, eps=workload.eps)
+        ok = miner.mine(workload.dataset, query, theta="0.5")
+        assert ok.convoys == miner.mine(workload.dataset, query, theta=0.5).convoys
+        with pytest.raises(SchemaError, match="theta"):
+            miner.mine(workload.dataset, query, theta="nope")
+
+
+class TestSchemaInCli:
+    def test_mine_rejects_bad_param_with_schema_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "planted.csv")
+        assert main(["generate", "--kind", "planted", "--out", path,
+                     "--seed", "3", "--scale", "0.3"]) == 0
+        capsys.readouterr()
+        assert main(["mine", path, "-m", "3", "-k", "10", "--eps", "10.0",
+                     "--algorithm", "cmc", "lam=bad"]) == 2
+        err = capsys.readouterr().err
+        assert "schema error" in err and "lam" in err
+
+    def test_algorithms_prints_schemas(self, capsys):
+        from repro.cli import main
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "theta: float = 0.5" in out
+        assert "variant: str = 'cuts'" in out

@@ -1,0 +1,286 @@
+"""The HTTP serving front: wire protocol, server routes, blocking client."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import ConvoyClient, ConvoySession, SchemaError
+from repro.core.types import Convoy
+from repro.data import plant_convoys
+from repro.server import (
+    ConvoyServerError,
+    ProtocolError,
+    convoy_from_wire,
+    convoy_to_wire,
+    serve_in_background,
+)
+from repro.server.protocol import read_request, response_bytes
+
+
+# -- protocol unit tests -----------------------------------------------------
+
+
+def _parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestProtocol:
+    def test_parses_request_line_query_and_headers(self):
+        request = _parse(
+            b"GET /convoys?between=3:9&object=7 HTTP/1.1\r\n"
+            b"Host: x\r\nConnection: close\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/convoys"
+        assert request.query == {"between": "3:9", "object": "7"}
+        assert not request.keep_alive
+
+    def test_reads_content_length_body(self):
+        body = json.dumps({"t": 1}).encode()
+        request = _parse(
+            b"POST /feed HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.json() == {"t": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"NONSENSE\r\n\r\n")
+
+    def test_chunked_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(b"POST /feed HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_response_bytes_shape(self):
+        raw = response_bytes(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_convoy_wire_round_trip(self):
+        convoy = Convoy.of([3, 1, 2], 5, 9)
+        assert convoy_from_wire(convoy_to_wire(convoy)) == convoy
+        assert convoy_to_wire(convoy)["objects"] == [1, 2, 3]
+
+
+# -- end-to-end server/client tests ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return plant_convoys(
+        n_convoys=3, convoy_size=4, convoy_duration=20, n_noise=20,
+        duration=60, seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def served(workload):
+    """An in-process service and an HTTP server over the same replay."""
+    dataset = workload.dataset
+    service = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=3, k=10, eps=workload.eps)
+        .shards("2x2")
+        .serve()
+    )
+    with serve_in_background(service, dataset=dataset) as handle:
+        client = ConvoyClient(handle.host, handle.port)
+        yield service, client, workload
+        client.close()
+
+
+class TestQueriesOverHttp:
+    def test_all_five_query_families_match_in_process(self, served):
+        service, client, workload = served
+        dataset = workload.dataset
+        start, end = dataset.start_time, dataset.end_time
+
+        assert client.query.time_range(start, end) == \
+            service.query.time_range(start, end)
+        full = client.query.time_range(start, end)
+        assert full, "workload should close convoys"
+        oid = next(iter(full[0].objects))
+        assert client.query.object_history(oid) == \
+            service.query.object_history(oid)
+        assert client.query.containing([oid]) == service.query.containing([oid])
+        region = (
+            float(dataset.xs.min()), float(dataset.ys.min()),
+            float(dataset.xs.max()), float(dataset.ys.max()),
+        )
+        assert client.query.region(region) == service.query.region(region)
+        assert client.open_candidates() == service.open_candidates()
+
+    def test_bare_convoys_returns_maximal_set(self, served):
+        service, client, _ = served
+        assert client.convoys == service.convoys
+
+    def test_healthz_and_stats(self, served):
+        service, client, _ = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["convoys"] == len(service.index)
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert stats["index"]["convoys"] == len(service.index)
+
+    def test_algorithms_served_with_schemas(self, served):
+        _, client, _ = served
+        algorithms = {a["name"]: a for a in client.algorithms()}
+        assert "k2hop" in algorithms
+        cuts = algorithms["cuts"]
+        assert any(p["name"] == "lam" and p["type"] == "int"
+                   for p in cuts["params"])
+
+    def test_mine_over_http_matches_local_mine(self, served):
+        _, client, workload = served
+        local = (
+            ConvoySession.from_dataset(workload.dataset)
+            .params(m=3, k=10, eps=workload.eps)
+            .mine()
+        )
+        assert client.mine(3, 10, workload.eps) == local.convoys
+
+    def test_mine_bad_param_raises_schema_error_client_side(self, served):
+        _, client, workload = served
+        with pytest.raises(SchemaError) as excinfo:
+            client.mine(3, 10, workload.eps, algorithm="cmc", lam="bad")
+        assert excinfo.value.param == "lam"
+        assert excinfo.value.algorithm == "cmc"
+
+    def test_mine_bad_bounds_raises_schema_error(self, served):
+        _, client, workload = served
+        with pytest.raises(SchemaError, match="theta"):
+            client.mine(3, 10, workload.eps,
+                        algorithm="moving_clusters", theta=7.0)
+
+    def test_unknown_route_and_method(self, served):
+        _, client, _ = served
+        with pytest.raises(ConvoyServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ConvoyServerError) as excinfo:
+            client._request("POST", "/healthz")
+        assert excinfo.value.status == 405
+
+    def test_bad_query_arguments_answer_400(self, served):
+        _, client, _ = served
+        for target in ("/convoys?between=9", "/convoys?region=1,2,3",
+                       "/convoys?object=x", "/convoys?between=1:2&object=3"):
+            with pytest.raises(ConvoyServerError) as excinfo:
+                client._request("GET", target)
+            assert excinfo.value.status == 400
+
+    def test_concurrent_readers_agree(self, served):
+        from concurrent.futures import ThreadPoolExecutor
+
+        service, client, workload = served
+        dataset = workload.dataset
+        expect = service.query.time_range(dataset.start_time, dataset.end_time)
+
+        def ask(_):
+            local = ConvoyClient(client.host, client.port)
+            try:
+                return local.query.time_range(
+                    dataset.start_time, dataset.end_time
+                )
+            finally:
+                local.close()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            answers = list(pool.map(ask, range(24)))
+        assert all(answer == expect for answer in answers)
+
+
+class TestFeedOverHttp:
+    def test_remote_feed_matches_in_process_feed(self):
+        workload = plant_convoys(
+            n_convoys=2, convoy_size=3, convoy_duration=15, n_noise=10,
+            duration=40, seed=7,
+        )
+        dataset = workload.dataset
+        session = ConvoySession.blank().params(m=3, k=10, eps=workload.eps)
+
+        local = session.feed()
+        local_closed = []
+        for t in dataset.timestamps().tolist():
+            oids, xs, ys = dataset.snapshot(t)
+            local_closed.extend(local.observe(t, oids, xs, ys))
+        local_closed.extend(local.finish())
+
+        remote_service = session.feed()
+        with serve_in_background(remote_service) as handle:
+            client = ConvoyClient(handle.host, handle.port)
+            remote_closed = []
+            for t in dataset.timestamps().tolist():
+                oids, xs, ys = dataset.snapshot(t)
+                remote_closed.extend(
+                    client.observe(t, oids.tolist(), xs.tolist(), ys.tolist())
+                )
+            remote_closed.extend(client.finish())
+            assert remote_closed == local_closed
+            assert client.convoys == local.convoys
+            # the fed points are minable server-side
+            mined = client.mine(3, 10, workload.eps)
+            batch = (
+                ConvoySession.from_dataset(dataset)
+                .params(m=3, k=10, eps=workload.eps)
+                .mine()
+            )
+            assert mined == batch.convoys
+            client.close()
+
+    def test_feed_on_query_only_server_answers_400(self, tmp_path):
+        workload = plant_convoys(
+            n_convoys=1, convoy_size=3, convoy_duration=15, n_noise=5,
+            duration=30, seed=3,
+        )
+        index_dir = str(tmp_path / "idx")
+        (
+            ConvoySession.from_dataset(workload.dataset)
+            .params(m=3, k=10, eps=workload.eps)
+            .store("lsmt", index_dir)
+            .serve()
+            .close()
+        )
+        reopened = ConvoySession.open(index_dir)
+        with serve_in_background(reopened) as handle:
+            client = ConvoyClient(handle.host, handle.port)
+            assert client.healthz()["live_feed"] is False
+            with pytest.raises(ConvoyServerError) as excinfo:
+                client.observe(0, [1], [0.0], [0.0])
+            assert excinfo.value.status == 400
+            client.close()
+        reopened.close()
+
+
+class TestOnConvoyCallback:
+    def test_feed_on_convoy_observes_closures(self):
+        workload = plant_convoys(
+            n_convoys=2, convoy_size=3, convoy_duration=15, n_noise=5,
+            duration=30, seed=11,
+        )
+        dataset = workload.dataset
+        seen = []
+        service = (
+            ConvoySession.from_dataset(dataset)
+            .params(m=3, k=10, eps=workload.eps)
+            .serve(on_convoy=seen.append)
+        )
+        # every indexed convoy was announced through the callback (the
+        # index may additionally drop subsumed closures it never stores)
+        assert set(service.convoys) <= set(seen)
+        assert seen, "expected at least one closed convoy"

@@ -212,3 +212,42 @@ class TestServiceBookkeeping:
         assert service.stats.points == 4
         assert service.stats.closed_convoys == 1
         assert service.stats.indexed_convoys == 1
+
+
+class TestWorkerThreads:
+    """workers= parallelises shard clustering without changing results."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_clustering_matches_serial(self, workers):
+        ds = random_walk_dataset(
+            n_objects=10, duration=16, extent=60.0, step=8.0, seed=3
+        )
+        query = ConvoyQuery(m=3, k=4, eps=14.0)
+        duration = ds.end_time - ds.start_time + 1
+        sharder = GridSharder.for_dataset(ds, query.eps, 2, 2)
+        serial = ConvoyIngestService(query, sharder=sharder, history=duration)
+        serial.ingest(ds)
+        parallel = ConvoyIngestService(
+            query, sharder=sharder, history=duration, workers=workers
+        )
+        parallel.ingest(ds)
+        assert parallel.index.convoys() == serial.index.convoys()
+        assert parallel.stats.clusters == serial.stats.clusters
+        assert parallel.stats.border_merges == serial.stats.border_merges
+
+    def test_single_shard_stays_serial(self):
+        query = ConvoyQuery(m=2, k=3, eps=2.0)
+        service = ConvoyIngestService(query, workers=4)  # no sharder
+        assert service.workers == 0  # nothing to parallelise over
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ConvoyIngestService(ConvoyQuery(m=2, k=3, eps=2.0), workers=-1)
+
+    def test_session_workers_builder(self):
+        from repro.api import ConvoySession
+
+        session = ConvoySession.blank().workers(3)
+        assert session.config.serve.workers == 3
+        with pytest.raises(ValueError, match="workers"):
+            ConvoySession.blank().workers(-2)
