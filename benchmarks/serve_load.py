@@ -10,13 +10,18 @@ overlaps, open candidates) at the :class:`ConvoyQueryEngine`, reporting
 * the result-cache hit rate,
 * with ``--http``: the same workload again through the asyncio HTTP
   front (wire-inclusive ``http_qps`` / ``http_p50_ms`` / ``http_p95_ms``),
+* with ``--restart`` (needs ``--http``): a second feed, over HTTP into a
+  durable service, with the server stopped and restarted once mid-feed
+  against the same store directory — the resilient client must ride the
+  outage with zero visible errors and the resumed run must index exactly
+  the uninterrupted convoy set (``restart_seconds`` is journaled),
 
 and appends the numbers as a ``"serve"`` entry in the ``BENCH_k2hop.json``
 journal.  Run from the repository root::
 
     PYTHONPATH=src python benchmarks/serve_load.py                      # full brinkhoff
     PYTHONPATH=src python benchmarks/serve_load.py --size small --queries 100 \
-        --http --min-qps 50 --min-http-qps 20 --max-p95-ms 50 \
+        --http --restart --min-qps 50 --min-http-qps 20 --max-p95-ms 50 \
         --require-results --no-journal                                 # CI smoke
 """
 
@@ -159,6 +164,88 @@ def run_http_queries(service, workload, dataset) -> Dict:
     return {f"http_{key}": value for key, value in results.items()}
 
 
+def run_restart_benchmark(dataset, query, grid: str, baseline) -> Dict:
+    """Feed over HTTP into a durable service; restart the server mid-feed.
+
+    The server is gracefully stopped halfway through the feed and a new
+    one (recovered from the same store directory) rebinds the same port
+    while the client keeps feeding.  The client's retry policy plus the
+    idempotent ``(src, seq)`` batches must absorb the outage: zero
+    client-visible errors, and the final convoy set identical to the
+    uninterrupted ``baseline``.
+    """
+    import tempfile
+    import threading
+
+    from repro.api import ConvoyClient, ConvoySession
+    from repro.server import RetryPolicy, serve_in_background
+
+    with tempfile.TemporaryDirectory(prefix="serve-restart-") as scratch:
+        session = (
+            ConvoySession.from_dataset(dataset)
+            .params(query.m, query.k, query.eps)
+            .shards(grid)
+            .store("lsm", os.path.join(scratch, "idx"))
+            .durable(checkpoint_every=32)
+        )
+        handle = session.feed()
+        server = serve_in_background(handle, dataset=dataset)
+        host, port = server.host, server.port
+        client = ConvoyClient(
+            host, port, timeout=10.0,
+            retry=RetryPolicy(attempts=10, base_delay=0.05, max_delay=1.0),
+        )
+        timestamps = dataset.timestamps().tolist()
+        restart_at = max(1, len(timestamps) // 2)
+        box = {}
+
+        def restart():
+            t0 = time.perf_counter()
+            server.stop()  # graceful: drain writes, final checkpoint
+            handle.close()
+            resumed = session.feed()  # recovers from the store directory
+            box["server"] = serve_in_background(
+                resumed, host=host, port=port, dataset=dataset
+            )
+            box["handle"] = resumed
+            box["seconds"] = time.perf_counter() - t0
+
+        errors = 0
+        restarter = None
+        t_feed = time.perf_counter()
+        for position, t in enumerate(timestamps, start=1):
+            if position == restart_at:
+                restarter = threading.Thread(target=restart, name="restarter")
+                restarter.start()
+            oids, xs, ys = dataset.snapshot(t)
+            try:
+                client.observe(t, oids, xs, ys)
+            except Exception as error:  # noqa: BLE001 — counted, not fatal
+                errors += 1
+                print(f"  client-visible error at tick {t}: {error}",
+                      file=sys.stderr)
+        restarter.join()
+        client.finish()
+        feed_seconds = time.perf_counter() - t_feed
+        convoys = client.convoys
+        retries = client.retries_total
+        client.close()
+        box["server"].stop()
+        box["handle"].close()
+
+    def as_set(cs):
+        return {(frozenset(c.objects), c.start, c.end) for c in cs}
+
+    return {
+        "restart_seconds": box["seconds"],
+        "restart_feed_seconds": feed_seconds,
+        "restart_client_retries": retries,
+        "restart_client_errors": errors,
+        "restart_convoys_indexed": len(convoys),
+        "restart_matches_baseline": as_set(convoys) == as_set(baseline),
+    }
+
+
 def _service_handle(ingest_service: ConvoyIngestService):
     """Wrap a bare ingest service in the handle the HTTP server expects."""
     from repro.api.session import ConvoyService
@@ -240,6 +327,13 @@ def main(argv: List[str] = None) -> int:
         "--min-http-qps", type=float, default=None,
         help="fail below this HTTP QPS (requires --http)",
     )
+    parser.add_argument(
+        "--restart",
+        action="store_true",
+        help="feed over HTTP into a durable service and restart the "
+        "server once mid-feed; fail on any client-visible error or a "
+        "convoy mismatch against the uninterrupted run (requires --http)",
+    )
     args = parser.parse_args(argv)
 
     dataset = (
@@ -291,6 +385,23 @@ def main(argv: List[str] = None) -> int:
             f"cache hit rate {http_results['http_cache_hit_rate']:.2f}"
         )
 
+    restart_results = {}
+    if args.restart and args.http:
+        print(
+            "feeding over HTTP with one mid-feed server restart ...",
+            flush=True,
+        )
+        restart_results = run_restart_benchmark(
+            dataset, query, f"{nx}x{ny}", convoys
+        )
+        print(
+            f"  restart {restart_results['restart_seconds']:.2f}s   "
+            f"client retries {restart_results['restart_client_retries']}   "
+            f"errors {restart_results['restart_client_errors']}   "
+            f"convoys {restart_results['restart_convoys_indexed']} "
+            f"(match={restart_results['restart_matches_baseline']})"
+        )
+
     region = bench_region_paths(
         service.index, dataset, rng, max(50, args.queries // 10)
     )
@@ -314,6 +425,7 @@ def main(argv: List[str] = None) -> int:
         "halo_copies": service.stats.halo_copies,
         **results,
         **http_results,
+        **restart_results,
         **region,
     }
     if not args.no_journal:
@@ -334,6 +446,19 @@ def main(argv: List[str] = None) -> int:
             failures.append(
                 f"http qps {http_results['http_qps']:.0f} < {args.min_http_qps}"
             )
+    if args.restart:
+        if not args.http:
+            failures.append("--restart needs --http")
+        else:
+            if restart_results["restart_client_errors"]:
+                failures.append(
+                    f"{restart_results['restart_client_errors']} "
+                    "client-visible error(s) during the restart feed"
+                )
+            if not restart_results["restart_matches_baseline"]:
+                failures.append(
+                    "restarted feed diverged from the uninterrupted convoy set"
+                )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

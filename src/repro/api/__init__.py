@@ -56,11 +56,17 @@ from . import miners as _miners  # noqa: F401  (populates the registry)
 
 # Imported last: repro.server reaches back into repro.api submodules, so
 # everything above must already be bound when the cycle closes.
-from ..server.client import ConvoyClient, ConvoyServerError
+from ..server.client import (
+    ConvoyClient,
+    ConvoyConnectionError,
+    ConvoyServerError,
+    RetryPolicy,
+)
 
 __all__ = [
     "Convoy",
     "ConvoyClient",
+    "ConvoyConnectionError",
     "ConvoyQuery",
     "ConvoyServerError",
     "ConvoyService",
@@ -77,6 +83,7 @@ __all__ = [
     "ParamSchema",
     "RESULT_STORE_KINDS",
     "RegisteredMiner",
+    "RetryPolicy",
     "SOURCE_STORE_KINDS",
     "SchemaError",
     "ServeSpec",

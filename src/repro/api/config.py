@@ -120,18 +120,29 @@ class ServeSpec:
 
     ``workers`` is the thread count for per-shard snapshot clustering:
     ``0`` (the default) clusters shards serially on the caller's thread.
+
+    ``durable`` journals every fed batch (WAL) and checkpoints the open
+    state every ``checkpoint_every`` batches into the persistent store
+    directory, so a killed process resumes mid-feed; it requires a
+    persistent result store.
     """
 
     nx: int = 1
     ny: int = 1
     history: Union[str, int] = "full"
     workers: int = 0
+    durable: bool = False
+    checkpoint_every: int = 64
 
     def __post_init__(self) -> None:
         if self.nx < 1 or self.ny < 1:
             raise ValueError(f"shard grid {self.nx}x{self.ny} must be >= 1x1")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
         if isinstance(self.history, str):
             if self.history != "full":
                 raise ValueError(

@@ -76,15 +76,28 @@ class ConvoyService:
         oids: Sequence[int],
         xs: Sequence[float],
         ys: Sequence[float],
+        src: str = "",
+        seq: Optional[int] = None,
     ) -> List[Convoy]:
-        """Push one snapshot into the feed; returns convoys it closed."""
+        """Push one snapshot into the feed; returns convoys it closed.
+
+        ``(src, seq)`` optionally identify the batch for journaling and
+        duplicate suppression on a durable feed (see
+        :meth:`ConvoyIngestService.observe
+        <repro.service.ingest.ConvoyIngestService.observe>`).
+        """
         self._require_feed("observe")
-        return self.ingest.observe(t, oids, xs, ys)
+        return self.ingest.observe(t, oids, xs, ys, src=src, seq=seq)
 
     def finish(self) -> List[Convoy]:
         """Close every open candidate (end of feed)."""
         self._require_feed("finish")
         return self.ingest.finish()
+
+    def checkpoint(self) -> None:
+        """Persist the open feed state now (durable services only)."""
+        self._require_feed("checkpoint")
+        self.ingest.checkpoint()
 
     # -- read side -----------------------------------------------------------
 
@@ -115,6 +128,11 @@ class ConvoyService:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        if self.ingest is not None and self.ingest.journal is not None:
+            # A clean close leaves a fresh checkpoint and an empty WAL,
+            # so the next open resumes instantly with no replay.
+            self.ingest.checkpoint()
+            self.ingest.journal.close()
         self.index.flush()
         self.index.close()
 
@@ -248,6 +266,24 @@ class ConvoySession:
             serve=dataclasses.replace(self.config.serve, workers=count)
         )
 
+    def durable(self, checkpoint_every: int = 64) -> "ConvoySession":
+        """Make ``feed()``/``serve()`` crash-recoverable.
+
+        Journals every fed batch into a WAL inside the persistent store
+        directory and checkpoints the open streaming state every
+        ``checkpoint_every`` batches.  When the directory already holds
+        durable state (the previous process was killed), ``feed()``
+        recovers it and resumes mid-feed instead of starting over.
+        Requires a persistent ``.store(...)``.
+        """
+        return self._replace(
+            serve=dataclasses.replace(
+                self.config.serve,
+                durable=True,
+                checkpoint_every=checkpoint_every,
+            )
+        )
+
     # -- the three run modes -------------------------------------------------
 
     def mine(self) -> SessionResult:
@@ -322,14 +358,53 @@ class ConvoySession:
             info = dataset.info()
             duration = info.duration
         index, persisted_to = self._open_index(params.query)
-        service = ConvoyIngestService(
-            params.query,
-            sharder=sharder,
-            index=index,
-            history=serve.resolve_history(duration),
-            workers=serve.workers,
-            on_convoy=on_convoy,
-        )
+        history = serve.resolve_history(duration)
+        if serve.durable:
+            from ..service.durability import ServiceJournal, has_durable_state
+
+            if not self.config.store.persistent:
+                raise ValueError(
+                    "durable() needs a persistent result store; add e.g. "
+                    ".store('lsm', path)"
+                )
+            resuming = has_durable_state(self.config.store.path)
+            journal = ServiceJournal(
+                self.config.store.path,
+                checkpoint_every=serve.checkpoint_every,
+            )
+            if resuming:
+                # The previous process died (or stopped) mid-feed; rebuild
+                # its exact state from the checkpoint + WAL suffix.  A
+                # blank session recovers the shard grid from the
+                # checkpoint; a grid that no longer matches raises.
+                service = ConvoyIngestService.recover(
+                    params.query,
+                    journal,
+                    index=index,
+                    sharder=sharder,
+                    history=history,
+                    workers=serve.workers,
+                    on_convoy=on_convoy,
+                )
+            else:
+                service = ConvoyIngestService(
+                    params.query,
+                    sharder=sharder,
+                    index=index,
+                    history=history,
+                    workers=serve.workers,
+                    on_convoy=on_convoy,
+                    journal=journal,
+                )
+        else:
+            service = ConvoyIngestService(
+                params.query,
+                sharder=sharder,
+                index=index,
+                history=history,
+                workers=serve.workers,
+                on_convoy=on_convoy,
+            )
         return ConvoyService(
             index, params.query, ingest=service, persisted_to=persisted_to
         )

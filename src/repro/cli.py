@@ -11,6 +11,7 @@ Examples::
     repro-convoy info traffic.csv
     repro-convoy serve traffic.csv -m 3 -k 10 --eps 50 --index-dir ./idx --shards 2x2
     repro-convoy serve traffic.csv -m 3 -k 10 --eps 50 --http 8080
+    repro-convoy serve -m 3 -k 10 --eps 50 --index-dir ./idx --durable --http 8080
     repro-convoy query ./idx --time 10:80
     repro-convoy query ./idx --object 42
 """
@@ -91,7 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="ingest a CSV feed into a queryable convoy index"
     )
-    serve.add_argument("dataset", help="input CSV (oid,t,x,y), replayed as a feed")
+    serve.add_argument(
+        "dataset",
+        nargs="?",
+        default=None,
+        help="input CSV (oid,t,x,y), replayed as a feed; omit to accept a "
+        "live feed over --http only",
+    )
     serve.add_argument("-m", type=int, required=True, help="min convoy size")
     serve.add_argument("-k", type=int, required=True, help="min convoy length")
     serve.add_argument("--eps", type=float, required=True, help="distance threshold")
@@ -114,8 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--shards",
-        default="2x2",
-        help="spatial shard grid, e.g. 1x1, 2x2, 4x2",
+        default=None,
+        help="spatial shard grid, e.g. 1x1, 2x2, 4x2 "
+        "(default 2x2 with a dataset, 1x1 for a blank feed)",
     )
     serve.add_argument(
         "--history",
@@ -140,6 +148,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--host",
         default="127.0.0.1",
         help="bind address for --http (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--durable",
+        action="store_true",
+        help="journal the feed and checkpoint into --index-dir so a killed "
+        "server resumes mid-feed on restart",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="batches between durable checkpoints (default 64)",
     )
 
     query = commands.add_parser(
@@ -281,21 +302,43 @@ def _serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.dataset is None and args.http is None:
+        print(
+            "serve without a dataset accepts feeds over HTTP only; add --http PORT",
+            file=sys.stderr,
+        )
+        return 2
+    if args.durable and not args.index_dir:
+        print("--durable journals into the index directory; add --index-dir",
+              file=sys.stderr)
+        return 2
     try:
-        dataset = load_csv(args.dataset)
+        dataset = load_csv(args.dataset) if args.dataset else None
+        shards = args.shards or ("2x2" if dataset is not None else "1x1")
         session = (
             ConvoySession.from_dataset(dataset)
-            .params(m=args.m, k=args.k, eps=args.eps)
-            .shards(args.shards)
+            if dataset is not None
+            else ConvoySession.blank()
+        )
+        session = (
+            session.params(m=args.m, k=args.k, eps=args.eps)
+            .shards(shards)
             .history(history)
             .workers(args.workers)
         )
         if args.index_dir:
             session = session.store(backend, args.index_dir)
-        handle = session.serve()
+        if args.durable:
+            session = session.durable(args.checkpoint_every)
+        handle = session.serve() if dataset is not None else session.feed()
     except ValueError as error:  # bad shard spec / history / index reopen
         print(str(error), file=sys.stderr)
         return 2
+    if handle.stats.recovered_records or handle.stats.duplicates:
+        print(
+            f"resumed durable state: {handle.stats.ticks} tick(s) applied, "
+            f"{handle.stats.recovered_records} WAL record(s) replayed"
+        )
     _print_convoys(handle.convoys)
     print(f"ingest: {handle.stats.summary()}")
     if args.http is not None:

@@ -13,6 +13,7 @@ convoys using the recorded history window.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,6 +23,23 @@ from ..core.params import ConvoyQuery
 from ..core.types import Cluster, Convoy, TimeInterval, Timestamp, maximal_convoys
 from ..core.validate import validate_convoys
 from ..data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class MonitorState:
+    """Checkpointable open state of a :class:`StreamingConvoyMonitor`.
+
+    Captures exactly what an unbounded feed cannot reconstruct after a
+    crash: the open candidates with their start times, the last observed
+    timestamp, and the retained validation window.  Closed convoys are
+    *not* part of the state — they live in the durable convoy index.
+    """
+
+    last_time: Optional[Timestamp]
+    #: ``(sorted members, since)`` per open candidate, deterministic order.
+    active: Tuple[Tuple[Tuple[int, ...], Timestamp], ...]
+    #: The validation window as ``(t, oids, xs, ys)`` tuples, ascending.
+    window: Tuple[Tuple[Timestamp, np.ndarray, np.ndarray, np.ndarray], ...]
 
 
 class StreamingConvoyMonitor:
@@ -166,6 +184,47 @@ class StreamingConvoyMonitor:
             Convoy(objects, TimeInterval(since, self._last_time))
             for objects, since in self._active.items()
         ]
+
+    # -- checkpoint / recovery --------------------------------------------------
+
+    def state_snapshot(self) -> MonitorState:
+        """The open state a service checkpoint must persist."""
+        return MonitorState(
+            last_time=self._last_time,
+            active=tuple(
+                sorted(
+                    (tuple(sorted(members)), since)
+                    for members, since in self._active.items()
+                )
+            ),
+            window=self.retained_history,
+        )
+
+    def restore_state(
+        self, state: MonitorState, closed: Optional[Sequence[Convoy]] = None
+    ) -> None:
+        """Reset the monitor to a checkpointed state (crash recovery).
+
+        ``closed`` seeds the emitted-convoy list — recovery passes the
+        durable index's convoys so :attr:`closed_convoys` keeps answering
+        the full maximal set after a restart.
+        """
+        self._last_time = state.last_time
+        self._active = {
+            frozenset(members): since for members, since in state.active
+        }
+        self._window = deque(
+            (
+                t,
+                np.asarray(oids, dtype=np.int64),
+                np.asarray(xs, dtype=np.float64),
+                np.asarray(ys, dtype=np.float64),
+            )
+            for t, oids, xs, ys in state.window
+        )
+        while self.history and len(self._window) > self.history:
+            self._window.popleft()
+        self._closed = list(closed) if closed is not None else []
 
     # -- internals --------------------------------------------------------------
 

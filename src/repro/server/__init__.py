@@ -20,7 +20,13 @@ table and the wire format.
 # ``client`` must import before ``app``: repro.api pulls ConvoyClient
 # from here while ``app`` (imported next) reaches back into
 # repro.api submodules — the ordering keeps the cycle resolvable.
-from .client import ConvoyClient, ConvoyServerError
+from .client import (
+    NO_RETRY,
+    ConvoyClient,
+    ConvoyConnectionError,
+    ConvoyServerError,
+    RetryPolicy,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -39,13 +45,16 @@ from .app import (
 )
 
 __all__ = [
+    "NO_RETRY",
     "PROTOCOL_VERSION",
     "ConvoyClient",
+    "ConvoyConnectionError",
     "ConvoyServer",
     "ConvoyServerError",
     "HttpServerHandle",
     "ProtocolError",
     "Request",
+    "RetryPolicy",
     "ServerStats",
     "convoy_from_wire",
     "convoy_to_wire",

@@ -31,12 +31,24 @@ thread pool, answered from the version-keyed
 queue drained by one consumer task, so the ingest pipeline — which is
 single-writer by construction — never sees interleaved snapshots, while
 readers keep streaming results off the immutable published state.
+
+**Graceful degradation.**  The writer queue is *bounded*: when ingest
+falls behind the feed, new writes answer ``503 Service Unavailable``
+with a ``Retry-After`` header instead of queueing without limit (the
+resilient :class:`~repro.server.client.ConvoyClient` backs off and
+retries; its per-batch sequence numbers make the retry idempotent).
+Every request runs under a timeout answering ``504`` rather than
+stalling the connection forever.  Shutdown is graceful: the listener
+closes, queued writes drain, and — when the service journals — a final
+checkpoint persists the open state so a restart resumes exactly where
+the process left off.
 """
 
 from __future__ import annotations
 
 import asyncio
 import queue
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -62,6 +74,14 @@ from .protocol import (
 )
 
 
+class _Overloaded(Exception):
+    """Raised when the bounded writer queue rejects a new mutation."""
+
+    def __init__(self, retry_after: float = 1.0):
+        super().__init__("write queue is full; retry later")
+        self.retry_after = retry_after
+
+
 @dataclass
 class ServerStats:
     """Request-side counters (served by ``GET /stats``)."""
@@ -71,6 +91,8 @@ class ServerStats:
     reads: int = 0
     writes: int = 0
     mines: int = 0
+    rejected: int = 0  # 503s from writer-queue backpressure
+    timeouts: int = 0  # 504s from the per-request deadline
     by_route: Dict[str, int] = field(default_factory=dict)
     started_at: float = field(default_factory=time.time)
 
@@ -130,17 +152,39 @@ class ConvoyServer:
         Points already replayed into ``service`` before the server
         started (the CLI's ``serve --http`` path); seeds the point log
         so ``POST /mine`` covers them.
+    max_pending_writes:
+        Bound on the writer queue; writes beyond it answer 503 with a
+        ``Retry-After`` header instead of growing the backlog without
+        limit.
+    request_timeout:
+        Per-request deadline in seconds; a handler that exceeds it
+        answers 504 (``None`` disables the deadline).
     """
 
-    def __init__(self, service, dataset: Optional[Dataset] = None):
+    def __init__(
+        self,
+        service,
+        dataset: Optional[Dataset] = None,
+        *,
+        max_pending_writes: int = 256,
+        request_timeout: Optional[float] = 30.0,
+    ):
+        if max_pending_writes < 1:
+            raise ValueError(
+                f"max_pending_writes must be >= 1, got {max_pending_writes}"
+            )
         self.service = service
         self.stats = ServerStats()
+        self.request_timeout = request_timeout
         self._points = _PointLog(dataset)
         self._write_queue: "asyncio.Queue[Tuple[Callable[[], Any], asyncio.Future]]" = (
-            asyncio.Queue()
+            asyncio.Queue(maxsize=max_pending_writes)
         )
         self._writer_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._conn_writers: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -158,22 +202,51 @@ class ConvoyServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down gracefully: stop listening, drain, checkpoint.
+
+        ``drain=True`` (the default) applies every already-accepted write
+        before stopping the writer, then — when the underlying service
+        journals — writes a final checkpoint so a restart resumes without
+        replaying any WAL suffix.  New writes submitted during the drain
+        answer 503.
+        """
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         if self._writer_task is not None:
+            if drain:
+                await self._write_queue.join()
             self._writer_task.cancel()
             try:
                 await self._writer_task
             except asyncio.CancelledError:
                 pass
+        # Close lingering keep-alive connections so their handler tasks
+        # finish on a clean EOF; leaving them to be cancelled at loop
+        # teardown trips a noisy asyncio.streams callback on CPython 3.11.
+        for conn_writer in list(self._conn_writers):
+            conn_writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        if drain:
+            await self._final_checkpoint()
+
+    async def _final_checkpoint(self) -> None:
+        ingest = getattr(self.service, "ingest", None)
+        if ingest is None or getattr(ingest, "journal", None) is None:
+            return
+        await asyncio.get_running_loop().run_in_executor(None, ingest.checkpoint)
 
     # -- connection handling --------------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
         try:
             while True:
                 try:
@@ -192,11 +265,15 @@ class ConvoyServer:
                     return
                 if request is None:
                     return
-                status, payload = await self._dispatch(request)
+                status, payload, extra_headers = await self._dispatch(request)
                 if status >= 400:
                     self.stats.errors += 1
                 writer.write(
-                    response_bytes(status, payload, keep_alive=request.keep_alive)
+                    response_bytes(
+                        status, payload,
+                        keep_alive=request.keep_alive,
+                        extra_headers=extra_headers,
+                    )
                 )
                 await writer.drain()
                 if not request.keep_alive:
@@ -204,13 +281,17 @@ class ConvoyServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._conn_writers.discard(writer)
+            self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _dispatch(self, request: Request) -> Tuple[int, Any]:
+    async def _dispatch(
+        self, request: Request
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         route = f"{request.method} {request.path}"
         self.stats.count(route)
         try:
@@ -219,34 +300,66 @@ class ConvoyServer:
                 if any(path == request.path for _, path in _ROUTES):
                     return 405, error_payload(
                         405, f"{request.method} not allowed on {request.path}"
-                    )
-                return 404, error_payload(404, f"no route {request.path}")
-            return await handler(self, request)
+                    ), None
+                return 404, error_payload(404, f"no route {request.path}"), None
+            invocation = handler(self, request)
+            if self.request_timeout is not None:
+                status, payload = await asyncio.wait_for(
+                    invocation, self.request_timeout
+                )
+            else:
+                status, payload = await invocation
+            return status, payload, None
+        except _Overloaded as error:
+            self.stats.rejected += 1
+            return 503, error_payload(
+                503, str(error), type_name="Overloaded",
+                retry_after=error.retry_after,
+            ), {"Retry-After": f"{error.retry_after:g}"}
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return 504, error_payload(
+                504,
+                f"request exceeded the {self.request_timeout:g}s deadline",
+                type_name="Timeout",
+            ), None
         except ProtocolError as error:
             return error.status, error_payload(
                 error.status, str(error), type_name="ProtocolError"
-            )
+            ), None
         except SchemaError as error:
             return 400, error_payload(
                 400, str(error), type_name="SchemaError",
                 param=error.param, algorithm=error.algorithm,
-            )
+            ), None
         except (ValueError, KeyError, TypeError) as error:
             return 400, error_payload(
                 400, str(error), type_name=type(error).__name__
-            )
+            ), None
         except Exception as error:  # noqa: BLE001 — the server must not die
             return 500, error_payload(
                 500, f"{type(error).__name__}: {error}",
                 type_name=type(error).__name__,
-            )
+            ), None
 
     # -- write path (single-writer queue) -------------------------------------
 
     async def _submit_write(self, job: Callable[[], Any]) -> Any:
-        """Enqueue a mutation; resolves once the single writer applied it."""
+        """Enqueue a mutation; resolves once the single writer applied it.
+
+        The queue is bounded: a full queue (ingest is behind) or a
+        draining shutdown rejects the write with :class:`_Overloaded`,
+        which the dispatcher answers as 503 + ``Retry-After`` — the
+        client's cue to back off and retry the identical (idempotent)
+        batch.
+        """
+        if self._stopping:
+            raise _Overloaded()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._write_queue.put((job, future))
+        try:
+            self._write_queue.put_nowait((job, future))
+        except asyncio.QueueFull:
+            raise _Overloaded() from None
         return await future
 
     async def _writer_loop(self) -> None:
@@ -291,6 +404,9 @@ class ConvoyServer:
             "reads": self.stats.reads,
             "writes": self.stats.writes,
             "mines": self.stats.mines,
+            "rejected": self.stats.rejected,
+            "timeouts": self.stats.timeouts,
+            "pending_writes": self._write_queue.qsize(),
             "by_route": self.stats.by_route,
             "cache": {
                 "hits": engine.cache_stats.hits,
@@ -308,7 +424,19 @@ class ConvoyServer:
                 "border_merges": ingest.border_merges,
                 "closed_convoys": ingest.closed_convoys,
                 "indexed_convoys": ingest.indexed_convoys,
+                "duplicates": ingest.duplicates,
             },
+            "durability": self._durability_stats(),
+        }
+
+    def _durability_stats(self) -> Optional[Dict[str, Any]]:
+        ingest_service = self.service.ingest
+        if ingest_service is None or ingest_service.journal is None:
+            return None
+        return {
+            "checkpoints": ingest_service.stats.checkpoints,
+            "recovered_records": ingest_service.stats.recovered_records,
+            "applied_seq": ingest_service.applied_seq,
         }
 
     async def _get_algorithms(self, request: Request) -> Tuple[int, Any]:
@@ -375,20 +503,34 @@ class ConvoyServer:
         self.stats.writes += 1
         body = request.json()
         t, oids, xs, ys = _parse_snapshot(body)
+        src, seq = _parse_feed_identity(body)
+        ingest = self.service.ingest
 
         def job():
-            closed = self.service.ingest.observe(t, oids, xs, ys)
-            self._points.append(t, oids, xs, ys)
-            return closed
+            duplicates_before = ingest.stats.duplicates
+            closed = ingest.observe(t, oids, xs, ys, src=src, seq=seq)
+            duplicate = ingest.stats.duplicates != duplicates_before
+            if not duplicate:
+                self._points.append(t, oids, xs, ys)
+            return closed, duplicate
 
-        closed = await self._submit_write(job)
-        return 200, {"t": t, "ingested": int(len(oids)), **convoys_to_wire(closed)}
+        closed, duplicate = await self._submit_write(job)
+        return 200, {
+            "t": t,
+            "ingested": int(len(oids)),
+            "duplicate": duplicate,
+            **convoys_to_wire(closed),
+        }
 
     async def _post_finish(self, request: Request) -> Tuple[int, Any]:
         if self.service.ingest is None:
             raise ProtocolError(400, "this server is query-only; nothing to finish")
         self.stats.writes += 1
-        closed = await self._submit_write(self.service.ingest.finish)
+        src, seq = _parse_feed_identity(request.json())
+        ingest = self.service.ingest
+        closed = await self._submit_write(
+            lambda: ingest.finish(src=src, seq=seq)
+        )
         return 200, convoys_to_wire(closed)
 
     async def _post_mine(self, request: Request) -> Tuple[int, Any]:
@@ -495,6 +637,26 @@ def _parse_snapshot(body: Any):
     return t, oids, xs, ys
 
 
+def _parse_feed_identity(body: Any) -> Tuple[str, Optional[int]]:
+    """The optional ``(src, seq)`` batch identity of a feed request.
+
+    Clients that retry (after a timeout or 503) send both so the server
+    can deduplicate a batch it already applied.
+    """
+    if not isinstance(body, dict):
+        return "", None
+    src = str(body.get("src", ""))
+    seq = body.get("seq")
+    if seq is not None:
+        try:
+            seq = int(seq)
+        except (TypeError, ValueError):
+            raise ProtocolError(400, f"bad seq {seq!r}; expected an integer") from None
+        if seq < 1:
+            raise ProtocolError(400, f"seq must be >= 1, got {seq}")
+    return src, seq
+
+
 # -- embedding helpers --------------------------------------------------------
 
 
@@ -573,14 +735,39 @@ async def serve_http(
     dataset: Optional[Dataset] = None,
     on_start: Optional[Callable[[str, int], None]] = None,
 ) -> None:
-    """Run the server on the current event loop until cancelled (CLI path)."""
+    """Run the server on the current event loop until stopped (CLI path).
+
+    SIGTERM (and SIGINT, where signal handlers are supported) triggers a
+    graceful shutdown: drain the accepted writes, write a final
+    checkpoint when the service journals, then return.
+    """
     server = ConvoyServer(service, dataset=dataset)
     bound_host, bound_port = await server.start(host, port)
     if on_start is not None:
         on_start(bound_host, bound_port)
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    hooked = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+            hooked.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without signal support
     try:
-        await server.serve_forever()
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopper = asyncio.ensure_future(stop_event.wait())
+        await asyncio.wait({forever, stopper}, return_when=asyncio.FIRST_COMPLETED)
+        forever.cancel()
+        stopper.cancel()
+        for task in (forever, stopper):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
     except asyncio.CancelledError:
         pass
     finally:
+        for signum in hooked:
+            loop.remove_signal_handler(signum)
         await server.stop()

@@ -1,4 +1,4 @@
-"""``ConvoyClient`` — a blocking Python client for the HTTP serving front.
+"""``ConvoyClient`` — a blocking, resilient client for the HTTP front.
 
 The client mirrors the in-process
 :class:`~repro.api.session.ConvoyService` surface, so the same program
@@ -15,7 +15,19 @@ Wire errors come back as typed exceptions: a schema violation raised by
 the server re-raises as :class:`~repro.api.schema.SchemaError` with the
 offending parameter name intact; anything else raises
 :class:`ConvoyServerError` carrying the HTTP status and the server's
-error envelope.
+error envelope.  A server that cannot be reached at all raises
+:class:`ConvoyConnectionError` carrying the target and how many
+attempts were made.
+
+**Resilience.**  Every request retries under a configurable
+:class:`RetryPolicy` — exponential backoff with jitter on connection
+errors, timeouts, and 503 backpressure responses (honouring the
+server's ``Retry-After`` hint).  Feed batches are *idempotent*: the
+client stamps each ``observe``/``finish`` with a per-client source id
+and a monotonically increasing sequence number, and the server
+deduplicates anything at or below its applied watermark — so a retry
+after an ambiguous failure (the batch may or may not have been applied)
+can never double-ingest a snapshot.
 
 Built on :mod:`http.client` (stdlib), one keep-alive connection per
 client instance.  Instances are not thread-safe — use one per thread.
@@ -25,8 +37,12 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from urllib.parse import urlencode
 
 from ..api.schema import SchemaError
@@ -45,6 +61,52 @@ class ConvoyServerError(RuntimeError):
         self.status = status
         self.type_name = type_name
         self.payload = payload or {}
+
+
+class ConvoyConnectionError(ConvoyServerError):
+    """The server could not be reached (after every configured attempt)."""
+
+    def __init__(self, host: str, port: int, attempts: int, message: str):
+        super().__init__(0, message, type_name="ConnectionError")
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`ConvoyClient` retries failed requests.
+
+    ``attempts`` bounds the total tries (1 disables retrying).  Delays
+    grow exponentially from ``base_delay`` up to ``max_delay`` and are
+    jittered — each sleep is scaled by a uniform factor in
+    ``[1 - jitter, 1]`` so a fleet of clients backing off from the same
+    hiccup does not retry in lockstep.  A 503's ``Retry-After`` hint,
+    when present, raises the delay floor (capped at ``max_delay``).
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retry_statuses: FrozenSet[int] = frozenset({503})
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        """Sleep before retry number ``attempt`` (1-based, already failed)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        if retry_after is not None:
+            delay = min(max(delay, retry_after), self.max_delay)
+        return delay * (1.0 - self.jitter * random.random())
+
+
+#: Policy that never retries (fail fast on the first error).
+NO_RETRY = RetryPolicy(attempts=1)
 
 
 class _ClientQueryEngine:
@@ -75,15 +137,31 @@ class _ClientQueryEngine:
 
 
 class ConvoyClient:
-    """Blocking HTTP client speaking the convoy server's wire format."""
+    """Blocking HTTP client speaking the convoy server's wire format.
+
+    Parameters
+    ----------
+    host, port, timeout:
+        Where the server listens and the per-request socket timeout.
+    retry:
+        The :class:`RetryPolicy`; defaults to 5 attempts with jittered
+        exponential backoff.  Pass :data:`NO_RETRY` to fail fast.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retry: Optional[RetryPolicy] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.retries_total = 0  # across the client's lifetime
         self._conn: Optional[http.client.HTTPConnection] = None
         self.query = _ClientQueryEngine(self)
+        # Feed-batch identity: every observe()/finish() is stamped with
+        # this source id and the next sequence number, making retries
+        # idempotent (the server drops batches it already applied).
+        self.src = uuid.uuid4().hex
+        self._next_seq = 1
 
     # -- the ConvoyService-shaped surface -------------------------------------
 
@@ -98,17 +176,25 @@ class ConvoyClient:
     def observe(self, t: int, oids: Sequence[int], xs: Sequence[float],
                 ys: Sequence[float]) -> List[Convoy]:
         """Push one snapshot into the server's feed; returns closed convoys."""
+        seq = self._next_seq
+        self._next_seq += 1
         payload = self._request("POST", "/feed", {
             "t": int(t),
             "oids": [int(o) for o in oids],
             "xs": [float(x) for x in xs],
             "ys": [float(y) for y in ys],
+            "src": self.src,
+            "seq": seq,
         })
         return convoys_from_wire(payload)
 
     def finish(self) -> List[Convoy]:
         """Close every open candidate (end of feed)."""
-        return convoys_from_wire(self._request("POST", "/feed/finish"))
+        seq = self._next_seq
+        self._next_seq += 1
+        return convoys_from_wire(
+            self._request("POST", "/feed/finish", {"src": self.src, "seq": seq})
+        )
 
     def mine(self, m: int, k: int, eps: float, *, algorithm: str = "k2hop",
              **params: Any) -> List[Convoy]:
@@ -160,24 +246,46 @@ class ConvoyClient:
         return convoys_from_wire(self._request("GET", target))
 
     def _request(self, method: str, target: str, body: Any = None) -> Any:
+        """One logical request, retried under the client's policy.
+
+        Every request the client issues is safe to retry: reads and
+        ``/mine`` are side-effect-free, and feed batches carry their
+        ``(src, seq)`` identity so the server deduplicates re-sends.
+        """
         encoded = None if body is None else json.dumps(body).encode()
         headers = {} if encoded is None else {
             "Content-Type": "application/json"
         }
-        try:
-            response = self._round_trip(method, target, encoded, headers)
-        except (http.client.HTTPException, ConnectionError, socket.timeout,
-                OSError) as error:
-            self.close()
-            raise ConvoyServerError(
-                0, f"cannot reach convoy server at {self.host}:{self.port} "
-                f"({error})", type_name="ConnectionError",
-            ) from error
-        raw = response.read()
-        payload = json.loads(raw) if raw else {}
-        if response.status >= 400:
-            self._raise_for(response.status, payload)
-        return payload
+        policy = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response = self._round_trip(method, target, encoded, headers)
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, socket.timeout,
+                    OSError) as error:
+                self.close()
+                if attempt < policy.attempts:
+                    self.retries_total += 1
+                    time.sleep(policy.delay(attempt))
+                    continue
+                raise ConvoyConnectionError(
+                    self.host, self.port, attempt,
+                    f"cannot reach convoy server at {self.host}:{self.port} "
+                    f"after {attempt} attempt(s) ({error})",
+                ) from error
+            if (
+                response.status in policy.retry_statuses
+                and attempt < policy.attempts
+            ):
+                self.retries_total += 1
+                time.sleep(policy.delay(attempt, _retry_after(response)))
+                continue
+            payload = json.loads(raw) if raw else {}
+            if response.status >= 400:
+                self._raise_for(response.status, payload)
+            return payload
 
     def _round_trip(self, method, target, encoded, headers):
         """One request/response, reconnecting once on a dropped keep-alive."""
@@ -210,3 +318,13 @@ class ConvoyClient:
         raise ConvoyServerError(
             status, message, type_name=type_name, payload=error
         )
+
+
+def _retry_after(response) -> Optional[float]:
+    raw = response.getheader("Retry-After")
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None

@@ -44,6 +44,8 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -145,9 +147,11 @@ def response_bytes(
     *,
     keep_alive: bool = True,
     content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Render one HTTP/1.1 response.  ``payload`` is JSON-encoded unless
-    it is already ``bytes``."""
+    it is already ``bytes``.  ``extra_headers`` adds response headers
+    (e.g. ``Retry-After`` on a 503)."""
     if payload is None:
         body = b""
     elif isinstance(payload, bytes):
@@ -155,11 +159,17 @@ def response_bytes(
     else:
         body = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
     reason = _REASONS.get(status, "Unknown")
+    extras = ""
+    if extra_headers:
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+        )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extras}"
         "\r\n"
     )
     return head.encode("latin-1") + body

@@ -1,0 +1,491 @@
+"""Service-level durability: feed WAL, checkpoints, crash recovery.
+
+The storage backends already journal their *own* writes, but a killed
+server still lost everything the index cannot hold: the open streaming
+candidates, the retained validation window, the last observed tick, and
+which feed batches were already applied.  This module makes the whole
+ingest pipeline resume mid-feed:
+
+* :class:`FeedWAL` — an append-only, CRC32-framed journal of every
+  ingested snapshot batch ``(src, seq, t, oids, xs, ys)`` plus feed
+  ``finish`` markers.  Appends are flushed to the OS per record, so a
+  SIGKILL'd process loses nothing it acknowledged.
+* **checkpoints** — a periodic atomic snapshot (`checkpoint.bin`, temp
+  file + fsync + rename) of the global candidate chain, the per-shard
+  monitors, the per-source applied-sequence watermarks, the ingest
+  counters and the index id watermark.  After a successful checkpoint the
+  WAL is truncated; between checkpoints it holds exactly the batches the
+  checkpoint does not cover.
+* :class:`ServiceJournal` — both halves behind one handle, stored inside
+  the service's catalog directory next to ``service.json``.
+
+Recovery (:meth:`ConvoyIngestService.recover
+<repro.service.ingest.ConvoyIngestService.recover>`) loads the newest
+valid checkpoint, restores the monitors, then replays WAL records whose
+sequence number lies past the checkpoint's watermark — re-closing (and
+re-indexing, idempotently via the index's maximality update) anything
+the crash interrupted.  A torn WAL tail or a partially written
+checkpoint temp file is detected by checksum and discarded with a logged
+warning; recovery then falls back to the previous consistent state.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..core.types import Timestamp
+from ..extensions.streaming import MonitorState
+from ..testing.faults import FAULTS
+
+logger = logging.getLogger(__name__)
+
+WAL_FILE = "feed.wal"
+CHECKPOINT_FILE = "checkpoint.bin"
+
+_CHECKPOINT_MAGIC = b"RCP1"
+_FRAME = struct.Struct(">II")  # crc32, payload length
+
+#: WAL record kinds.
+KIND_SNAPSHOT = 1
+KIND_FINISH = 2
+
+#: Fixed field order of the persisted ingest counters.
+STAT_FIELDS = (
+    "ticks", "points", "halo_copies", "clusters", "border_merges",
+    "closed_convoys", "indexed_convoys", "duplicates", "checkpoints",
+)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journaled feed event."""
+
+    kind: int
+    src: str
+    seq: int
+    t: Timestamp = 0
+    oids: Optional[np.ndarray] = None
+    xs: Optional[np.ndarray] = None
+    ys: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Enough of a :class:`~repro.service.sharding.GridSharder` to rebuild it."""
+
+    nx: int
+    ny: int
+    bounds: Tuple[float, float, float, float]
+    eps: float
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """Everything a restarted service needs to resume mid-feed."""
+
+    applied: Dict[str, int]  # per-source sequence watermark
+    stats: Dict[str, int]  # IngestStats counters (STAT_FIELDS order)
+    sharder: Optional[ShardConfig]
+    index_next_id: int
+    chain: MonitorState
+    shards: Tuple[MonitorState, ...]
+
+
+# -- binary helpers -----------------------------------------------------------
+
+
+class _Writer:
+    __slots__ = ("parts",)
+
+    def __init__(self) -> None:
+        self.parts = [bytearray()]
+
+    def pack(self, fmt: str, *values) -> None:
+        self.parts[0] += struct.pack(fmt, *values)
+
+    def raw(self, data: bytes) -> None:
+        self.parts[0] += data
+
+    def text(self, value: str) -> None:
+        encoded = value.encode()
+        self.pack(">H", len(encoded))
+        self.raw(encoded)
+
+    def array(self, values: np.ndarray, dtype: str) -> None:
+        self.raw(np.ascontiguousarray(values, dtype=dtype).tobytes())
+
+    def getvalue(self) -> bytes:
+        return bytes(self.parts[0])
+
+
+class _Reader:
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        values = struct.unpack_from(fmt, self.data, self.offset)
+        self.offset += size
+        return values if len(values) > 1 else values[0]
+
+    def text(self) -> str:
+        length = self.unpack(">H")
+        raw = self.data[self.offset : self.offset + length]
+        self.offset += length
+        return raw.decode()
+
+    def array(self, count: int, dtype: str) -> np.ndarray:
+        size = count * np.dtype(dtype).itemsize
+        values = np.frombuffer(
+            self.data, dtype=dtype, count=count, offset=self.offset
+        ).copy()
+        self.offset += size
+        return values
+
+
+def _encode_monitor(writer: _Writer, state: MonitorState) -> None:
+    writer.pack(">B", 1 if state.last_time is not None else 0)
+    writer.pack(">q", state.last_time if state.last_time is not None else 0)
+    writer.pack(">I", len(state.active))
+    for members, since in state.active:
+        writer.pack(">qI", since, len(members))
+        writer.array(np.asarray(members, dtype=np.int64), "<i8")
+    writer.pack(">I", len(state.window))
+    for t, oids, xs, ys in state.window:
+        writer.pack(">qI", t, len(oids))
+        writer.array(oids, "<i8")
+        writer.array(xs, "<f8")
+        writer.array(ys, "<f8")
+
+
+def _decode_monitor(reader: _Reader) -> MonitorState:
+    has_last = reader.unpack(">B")
+    last_time = reader.unpack(">q")
+    n_active = reader.unpack(">I")
+    active = []
+    for _ in range(n_active):
+        since, count = reader.unpack(">qI")
+        members = tuple(int(v) for v in reader.array(count, "<i8"))
+        active.append((members, since))
+    n_window = reader.unpack(">I")
+    window = []
+    for _ in range(n_window):
+        t, count = reader.unpack(">qI")
+        oids = reader.array(count, "<i8").astype(np.int64)
+        xs = reader.array(count, "<f8").astype(np.float64)
+        ys = reader.array(count, "<f8").astype(np.float64)
+        window.append((t, oids, xs, ys))
+    return MonitorState(
+        last_time=last_time if has_last else None,
+        active=tuple(active),
+        window=tuple(window),
+    )
+
+
+def encode_checkpoint(state: CheckpointState) -> bytes:
+    writer = _Writer()
+    writer.pack(">I", len(state.applied))
+    for src in sorted(state.applied):
+        writer.text(src)
+        writer.pack(">Q", state.applied[src])
+    for name in STAT_FIELDS:
+        writer.pack(">Q", int(state.stats.get(name, 0)))
+    if state.sharder is None:
+        writer.pack(">B", 0)
+    else:
+        writer.pack(">B", 1)
+        writer.pack(">II", state.sharder.nx, state.sharder.ny)
+        writer.pack(">dddd", *state.sharder.bounds)
+        writer.pack(">d", state.sharder.eps)
+    writer.pack(">Q", state.index_next_id)
+    _encode_monitor(writer, state.chain)
+    writer.pack(">I", len(state.shards))
+    for shard_state in state.shards:
+        _encode_monitor(writer, shard_state)
+    return writer.getvalue()
+
+
+def decode_checkpoint(payload: bytes) -> CheckpointState:
+    reader = _Reader(payload)
+    applied: Dict[str, int] = {}
+    for _ in range(reader.unpack(">I")):
+        src = reader.text()
+        applied[src] = reader.unpack(">Q")
+    stats = {name: reader.unpack(">Q") for name in STAT_FIELDS}
+    sharder = None
+    if reader.unpack(">B"):
+        nx, ny = reader.unpack(">II")
+        bounds = reader.unpack(">dddd")
+        eps = reader.unpack(">d")
+        sharder = ShardConfig(nx=nx, ny=ny, bounds=tuple(bounds), eps=eps)
+    index_next_id = reader.unpack(">Q")
+    chain = _decode_monitor(reader)
+    shards = tuple(_decode_monitor(reader) for _ in range(reader.unpack(">I")))
+    return CheckpointState(
+        applied=applied, stats=stats, sharder=sharder,
+        index_next_id=index_next_id, chain=chain, shards=shards,
+    )
+
+
+# -- the feed WAL -------------------------------------------------------------
+
+
+class FeedWAL:
+    """CRC32-framed append-only journal of feed events.
+
+    Frame: ``[u32 crc][u32 len][payload]`` with the checksum over the
+    payload, so a torn or bit-flipped tail is detected on replay and the
+    log recovers to the last good record.
+    """
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = path
+        self.fsync = fsync
+        self._file = open(path, "ab")
+
+    def append_snapshot(
+        self,
+        src: str,
+        seq: int,
+        t: Timestamp,
+        oids: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+    ) -> None:
+        writer = _Writer()
+        writer.pack(">B", KIND_SNAPSHOT)
+        writer.text(src)
+        writer.pack(">Qq", seq, t)
+        writer.pack(">I", len(oids))
+        writer.array(oids, "<i8")
+        writer.array(xs, "<f8")
+        writer.array(ys, "<f8")
+        self._append(writer.getvalue())
+
+    def append_finish(self, src: str, seq: int) -> None:
+        writer = _Writer()
+        writer.pack(">B", KIND_FINISH)
+        writer.text(src)
+        writer.pack(">Q", seq)
+        self._append(writer.getvalue())
+
+    def _append(self, payload: bytes) -> None:
+        frame = _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
+        FAULTS.partial_write("service.wal.append", self._file, frame)
+        self._file.flush()  # into the OS: survives a killed process
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def truncate(self) -> None:
+        """Discard the log (its contents are covered by a checkpoint)."""
+        self._file.close()
+        self._file = open(self.path, "wb")
+
+    def close(self) -> None:
+        self._file.close()
+
+    @staticmethod
+    def replay(path: str) -> Iterator[WalRecord]:
+        """Yield verified records in append order; stop at a bad tail."""
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _FRAME.size <= len(data):
+            crc, length = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(data):
+                logger.warning(
+                    "feed WAL %s: torn record at offset %d (%d bytes dropped)",
+                    path, offset, len(data) - offset,
+                )
+                return
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                logger.warning(
+                    "feed WAL %s: checksum mismatch at offset %d "
+                    "(%d bytes dropped); recovered to last good record",
+                    path, offset, len(data) - offset,
+                )
+                return
+            yield FeedWAL._decode(payload)
+            offset = end
+        if offset != len(data):
+            logger.warning(
+                "feed WAL %s: torn frame header at offset %d (%d bytes dropped)",
+                path, offset, len(data) - offset,
+            )
+
+    @staticmethod
+    def _decode(payload: bytes) -> WalRecord:
+        reader = _Reader(payload)
+        kind = reader.unpack(">B")
+        src = reader.text()
+        if kind == KIND_FINISH:
+            seq = reader.unpack(">Q")
+            return WalRecord(kind=KIND_FINISH, src=src, seq=seq)
+        seq, t = reader.unpack(">Qq")
+        count = reader.unpack(">I")
+        oids = reader.array(count, "<i8").astype(np.int64)
+        xs = reader.array(count, "<f8").astype(np.float64)
+        ys = reader.array(count, "<f8").astype(np.float64)
+        return WalRecord(
+            kind=KIND_SNAPSHOT, src=src, seq=seq, t=t, oids=oids, xs=xs, ys=ys
+        )
+
+
+# -- the journal handle -------------------------------------------------------
+
+
+class ServiceJournal:
+    """WAL + checkpoint pair living inside a service catalog directory.
+
+    Parameters
+    ----------
+    directory:
+        The service's index directory (``catalog.py`` layout); created if
+        missing.
+    checkpoint_every:
+        Snapshot batches between automatic checkpoints.  The knob trades
+        checkpoint write cost against WAL replay length after a crash.
+    fsync:
+        ``True`` additionally fsyncs every WAL append (survives machine
+        loss, not just process loss).  Checkpoints always fsync.
+    """
+
+    def __init__(
+        self, directory: str, checkpoint_every: int = 64, fsync: bool = False
+    ):
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.directory = directory
+        self.checkpoint_every = checkpoint_every
+        os.makedirs(directory, exist_ok=True)
+        self.wal = FeedWAL(self.wal_path, fsync=fsync)
+        self.records_since_checkpoint = 0
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.directory, WAL_FILE)
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, CHECKPOINT_FILE)
+
+    # -- journaling -----------------------------------------------------------
+
+    def log_snapshot(
+        self,
+        src: str,
+        seq: int,
+        t: Timestamp,
+        oids: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+    ) -> None:
+        self.wal.append_snapshot(src, seq, t, oids, xs, ys)
+        self.records_since_checkpoint += 1
+
+    def log_finish(self, src: str, seq: int) -> None:
+        self.wal.append_finish(src, seq)
+        self.records_since_checkpoint += 1
+
+    def should_checkpoint(self) -> bool:
+        return self.records_since_checkpoint >= self.checkpoint_every
+
+    # -- checkpointing --------------------------------------------------------
+
+    def write_checkpoint(self, state: CheckpointState) -> None:
+        """Atomically persist ``state``, then truncate the covered WAL.
+
+        Write order is the recovery contract: temp file + fsync, rename
+        over ``checkpoint.bin``, directory fsync, *then* WAL truncate.  A
+        crash anywhere in between leaves either the old checkpoint with
+        the full WAL or the new checkpoint with a (harmlessly) stale WAL
+        whose records are filtered out by their sequence numbers.
+        """
+        payload = encode_checkpoint(state)
+        blob = (
+            _CHECKPOINT_MAGIC
+            + _FRAME.pack(zlib.crc32(payload), len(payload))
+            + payload
+        )
+        tmp_path = self.checkpoint_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            FAULTS.partial_write("service.checkpoint.write", handle, blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        FAULTS.crash_point("service.checkpoint.before-rename")
+        os.replace(tmp_path, self.checkpoint_path)
+        self._fsync_directory()
+        FAULTS.crash_point("service.checkpoint.before-wal-truncate")
+        self.wal.truncate()
+        self.records_since_checkpoint = 0
+
+    def load_checkpoint(self) -> Optional[CheckpointState]:
+        """The newest valid checkpoint, or ``None`` (fresh or corrupt)."""
+        path = self.checkpoint_path
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        header = len(_CHECKPOINT_MAGIC) + _FRAME.size
+        if len(blob) < header or blob[: len(_CHECKPOINT_MAGIC)] != _CHECKPOINT_MAGIC:
+            logger.warning("checkpoint %s: bad header; ignoring it", path)
+            return None
+        crc, length = _FRAME.unpack_from(blob, len(_CHECKPOINT_MAGIC))
+        payload = blob[header : header + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            logger.warning(
+                "checkpoint %s: truncated or corrupt (%d of %d payload "
+                "bytes); ignoring it", path, len(payload), length,
+            )
+            return None
+        return decode_checkpoint(payload)
+
+    def pending_records(
+        self, applied: Optional[Dict[str, int]] = None
+    ) -> Iterator[WalRecord]:
+        """WAL records past the ``applied`` per-source watermarks."""
+        watermarks = applied or {}
+        for record in FeedWAL.replay(self.wal_path):
+            if record.seq > watermarks.get(record.src, 0):
+                yield record
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def _fsync_directory(self) -> None:
+        if not hasattr(os, "O_DIRECTORY"):  # non-POSIX: best effort
+            return
+        fd = os.open(self.directory, os.O_DIRECTORY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def has_durable_state(directory: str) -> bool:
+    """True when ``directory`` holds feed-WAL or checkpoint state to resume."""
+    return (
+        os.path.exists(os.path.join(directory, CHECKPOINT_FILE))
+        or os.path.exists(os.path.join(directory, WAL_FILE))
+    )

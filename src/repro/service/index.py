@@ -329,6 +329,11 @@ class ConvoyIndex:
     def __len__(self) -> int:
         return len(self._records)
 
+    @property
+    def next_id(self) -> int:
+        """The id the next stored convoy will get (a durability watermark)."""
+        return self._next_id
+
     def get(self, cid: int) -> Optional[IndexedConvoy]:
         return self._records.get(cid)
 

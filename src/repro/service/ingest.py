@@ -19,12 +19,24 @@ With ``history`` covering a convoy's lifetime the emitted convoys are
 validated to full connectivity, which makes the query engine's answers
 identical to re-mining with k/2-hop (property-tested in
 ``benchmarks/test_serve_equivalence.py``).
+
+**Durability.**  With a :class:`~repro.service.durability.ServiceJournal`
+attached, every accepted batch is written to a feed WAL *before* it
+mutates any monitor, the open state is checkpointed every
+``checkpoint_every`` batches, and :meth:`ConvoyIngestService.recover`
+rebuilds a killed service to the exact mid-feed state — replaying the
+WAL suffix past the checkpoint so the resumed feed produces the same
+convoys an uninterrupted run would.  Feed batches carry per-source
+sequence numbers; a batch at or below a source's applied watermark is a
+duplicate (e.g. a client retry after a timeout) and is acknowledged
+without being re-ingested.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,10 +44,20 @@ from ..clustering import cluster_snapshot_with_cores
 from ..core.params import ConvoyQuery
 from ..core.types import Convoy, Timestamp
 from ..data.dataset import Dataset
-from ..extensions.streaming import StreamingConvoyMonitor
+from ..extensions.streaming import MonitorState, StreamingConvoyMonitor
+from ..testing.faults import FAULTS
+from .durability import (
+    KIND_FINISH,
+    STAT_FIELDS,
+    CheckpointState,
+    ServiceJournal,
+    ShardConfig,
+)
 from .index import BBox, ConvoyIndex
 from .reconcile import Fragment, merge_fragments
 from .sharding import GridSharder
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -49,6 +71,9 @@ class IngestStats:
     border_merges: int = 0
     closed_convoys: int = 0
     indexed_convoys: int = 0
+    duplicates: int = 0  # deduplicated feed batches (client retries)
+    checkpoints: int = 0
+    recovered_records: int = 0  # WAL records replayed at the last recovery
 
     def summary(self) -> str:
         return (
@@ -81,6 +106,11 @@ class ConvoyIngestService:
         default) clusters shards serially on the caller's thread.  The
         reconcile/monitor steps stay serial either way, so results are
         identical.
+    journal:
+        Optional :class:`~repro.service.durability.ServiceJournal`; when
+        set, accepted batches are WAL-journaled before they apply and the
+        open state checkpoints periodically, making the service
+        crash-recoverable via :meth:`recover`.
     """
 
     def __init__(
@@ -91,6 +121,7 @@ class ConvoyIngestService:
         history: int = 0,
         on_convoy: Optional[Callable[[Convoy], None]] = None,
         workers: int = 0,
+        journal: Optional[ServiceJournal] = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -102,6 +133,8 @@ class ConvoyIngestService:
         self._n_shards = sharder.n_shards if sharder is not None else 1
         self.workers = workers if self._n_shards > 1 else 0
         self._pool = None  # created lazily on the first parallel observe
+        self._journal = journal
+        self._applied: Dict[str, int] = {}  # per-source sequence watermark
         # With one shard the global chain IS the shard monitor; running a
         # second identical candidate chain would double the work per tick.
         self._shard_monitors = (
@@ -119,55 +152,209 @@ class ConvoyIngestService:
         oids: Sequence[int],
         xs: Sequence[float],
         ys: Sequence[float],
+        src: str = "",
+        seq: Optional[int] = None,
     ) -> List[Convoy]:
-        """Ingest one snapshot; returns the convoys it closed (indexed)."""
+        """Ingest one snapshot; returns the convoys it closed (indexed).
+
+        ``(src, seq)`` identify the batch for journaling and duplicate
+        suppression: a batch whose sequence number does not advance its
+        source's watermark (a retry of something already applied) is
+        acknowledged with ``[]`` and never re-ingested.  Omitting ``seq``
+        auto-assigns the source's next number.
+        """
         oid_arr = np.asarray(oids, dtype=np.int64)
         xs_arr = np.asarray(xs, dtype=np.float64)
         ys_arr = np.asarray(ys, dtype=np.float64)
-        self.stats.ticks += 1
-        self.stats.points += len(oid_arr)
-
-        fragments: List[Fragment] = []
-        if not self._shard_monitors:  # single shard: cluster directly
-            fragments = cluster_snapshot_with_cores(
-                oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
+        last_applied = self._applied.get(src, 0)
+        if seq is None:
+            seq = last_applied + 1
+        elif seq <= last_applied:
+            self.stats.duplicates += 1
+            return []
+        # Reject bad input *before* journaling it: a record that can
+        # never apply must not poison WAL replay after a restart.
+        if self._chain.last_time is not None and t <= self._chain.last_time:
+            raise ValueError(f"non-monotonic timestamp {t}")
+        if not (len(oid_arr) == len(xs_arr) == len(ys_arr)):
+            raise ValueError(
+                f"oids/xs/ys must align: "
+                f"{len(oid_arr)}/{len(xs_arr)}/{len(ys_arr)} rows"
             )
-        else:
-            views = list(self.sharder.route(oid_arr, xs_arr, ys_arr))
-            per_shard = self._cluster_views(views)
-            for monitor, view, pairs in zip(self._shard_monitors, views, per_shard):
-                monitor.observe_clusters(t, [members for members, _ in pairs])
-                self.stats.halo_copies += view.halo_count
-                fragments.extend(pairs)
-
-        clusters, merges = merge_fragments(fragments)
-        self.stats.clusters += len(clusters)
-        self.stats.border_merges += merges
-        closed = self._chain.observe_clusters(
-            t, clusters, snapshot=(oid_arr, xs_arr, ys_arr)
-        )
-        self._publish(closed)
+        if self._journal is not None:
+            self._journal.log_snapshot(src, seq, t, oid_arr, xs_arr, ys_arr)
+        FAULTS.crash_point("service.observe.after-wal")
+        closed = self._apply_snapshot(t, oid_arr, xs_arr, ys_arr)
+        self._applied[src] = seq
+        if self._journal is not None and self._journal.should_checkpoint():
+            self.checkpoint()
         return closed
 
-    def finish(self) -> List[Convoy]:
+    def finish(self, src: str = "", seq: Optional[int] = None) -> List[Convoy]:
         """End of feed: close every open candidate everywhere."""
-        for monitor in self._shard_monitors:
-            monitor.finish()
-        closed = self._chain.finish()
-        self._publish(closed)
+        last_applied = self._applied.get(src, 0)
+        if seq is None:
+            seq = last_applied + 1
+        elif seq <= last_applied:
+            self.stats.duplicates += 1
+            return []
+        if self._journal is not None:
+            self._journal.log_finish(src, seq)
+        closed = self._apply_finish()
+        self._applied[src] = seq
         self.index.flush()
+        if self._journal is not None:
+            self.checkpoint()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
         return closed
 
     def ingest(self, dataset: Dataset) -> List[Convoy]:
-        """Replay a stored dataset through the service (tests/benchmarks)."""
-        for t in dataset.timestamps().tolist():
+        """Replay a stored dataset through the service (tests/benchmarks).
+
+        Batches carry explicit sequence numbers (the snapshot's ordinal),
+        so replaying the same dataset into a recovered service skips the
+        already-applied prefix and resumes exactly where the crash left
+        off.
+        """
+        for position, t in enumerate(dataset.timestamps().tolist(), start=1):
             oids, xs, ys = dataset.snapshot(t)
-            self.observe(t, oids, xs, ys)
+            self.observe(t, oids, xs, ys, seq=position)
         self.finish()
         return self.closed_convoys
+
+    # -- durability -----------------------------------------------------------
+
+    @property
+    def journal(self) -> Optional[ServiceJournal]:
+        return self._journal
+
+    @property
+    def applied_seq(self) -> Dict[str, int]:
+        """Per-source applied-sequence watermarks (read-only copy)."""
+        return dict(self._applied)
+
+    def checkpoint(self) -> None:
+        """Persist the open state now and truncate the covered WAL.
+
+        No-op without a journal.  The index is flushed first, so every
+        convoy closed before the checkpoint is durable in the backend by
+        the time the WAL suffix that would re-close it is discarded.
+        """
+        if self._journal is None:
+            return
+        self.index.flush()
+        self.stats.checkpoints += 1
+        self._journal.write_checkpoint(self._checkpoint_state())
+
+    def _checkpoint_state(self) -> CheckpointState:
+        sharder_config = None
+        if self.sharder is not None:
+            sharder_config = ShardConfig(
+                nx=self.sharder.nx,
+                ny=self.sharder.ny,
+                bounds=tuple(float(v) for v in self.sharder.bounds),
+                eps=self.sharder.eps,
+            )
+        return CheckpointState(
+            applied=dict(self._applied),
+            stats={name: getattr(self.stats, name) for name in STAT_FIELDS},
+            sharder=sharder_config,
+            index_next_id=self.index.next_id,
+            chain=self._chain.state_snapshot(),
+            shards=tuple(m.state_snapshot() for m in self._shard_monitors),
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        query: ConvoyQuery,
+        journal: ServiceJournal,
+        index: Optional[ConvoyIndex] = None,
+        sharder: Optional[GridSharder] = None,
+        history: int = 0,
+        on_convoy: Optional[Callable[[Convoy], None]] = None,
+        workers: int = 0,
+    ) -> "ConvoyIngestService":
+        """Rebuild a killed service from its journal and reopened index.
+
+        Loads the newest valid checkpoint (restoring monitors, applied
+        watermarks and counters), then replays WAL records past the
+        watermarks.  Replayed closures re-index idempotently — the
+        index's maximality update drops anything already stored — so a
+        SIGKILL between a closure and the next checkpoint never loses or
+        duplicates a convoy.
+        """
+        state = journal.load_checkpoint()
+        if sharder is None and state is not None and state.sharder is not None:
+            cfg = state.sharder
+            sharder = GridSharder(cfg.nx, cfg.ny, cfg.bounds, cfg.eps)
+        service = cls(
+            query,
+            sharder=sharder,
+            index=index,
+            history=history,
+            on_convoy=on_convoy,
+            workers=workers,
+            journal=journal,
+        )
+        if state is not None:
+            expected_shards = len(service._shard_monitors)
+            if len(state.shards) != expected_shards:
+                raise ValueError(
+                    f"checkpoint has {len(state.shards)} shard monitors but "
+                    f"the service topology has {expected_shards}; recover "
+                    "with the original shard grid"
+                )
+            service._applied = dict(state.applied)
+            for name in STAT_FIELDS:
+                setattr(service.stats, name, state.stats.get(name, 0))
+            if service.index.next_id < state.index_next_id:
+                logger.warning(
+                    "index watermark %d behind checkpoint %d: the backend "
+                    "lost flushed rows; continuing (WAL replay re-creates "
+                    "post-checkpoint closures only)",
+                    service.index.next_id, state.index_next_id,
+                )
+            chain_state = state.chain
+            shard_states = state.shards
+        else:
+            chain_state = MonitorState(last_time=None, active=(), window=())
+            shard_states = tuple(
+                MonitorState(last_time=None, active=(), window=())
+                for _ in service._shard_monitors
+            )
+        # The durable index holds every convoy closed so far; seeding the
+        # chain's emitted list keeps `closed_convoys` whole across crashes.
+        service._chain.restore_state(chain_state, closed=service.index.convoys())
+        for monitor, shard_state in zip(service._shard_monitors, shard_states):
+            monitor.restore_state(shard_state)
+        replayed = 0
+        for record in journal.pending_records(service._applied):
+            try:
+                if record.kind == KIND_FINISH:
+                    service._apply_finish()
+                else:
+                    service._apply_snapshot(
+                        record.t, record.oids, record.xs, record.ys
+                    )
+            except ValueError as error:
+                logger.warning(
+                    "skipping unreplayable WAL record %s/%d: %s",
+                    record.src, record.seq, error,
+                )
+            service._applied[record.src] = max(
+                record.seq, service._applied.get(record.src, 0)
+            )
+            replayed += 1
+        service.stats.recovered_records = replayed
+        if replayed:
+            logger.info(
+                "recovered %d WAL record(s) past the checkpoint in %s",
+                replayed, journal.directory,
+            )
+        return service
 
     # -- read side -----------------------------------------------------------
 
@@ -195,6 +382,46 @@ class ConvoyIngestService:
         return self._shard_monitors[shard].open_candidates()
 
     # -- internals ------------------------------------------------------------
+
+    def _apply_snapshot(
+        self,
+        t: Timestamp,
+        oid_arr: np.ndarray,
+        xs_arr: np.ndarray,
+        ys_arr: np.ndarray,
+    ) -> List[Convoy]:
+        """The journal-free ingest step (also the WAL replay entry point)."""
+        self.stats.ticks += 1
+        self.stats.points += len(oid_arr)
+
+        fragments: List[Fragment] = []
+        if not self._shard_monitors:  # single shard: cluster directly
+            fragments = cluster_snapshot_with_cores(
+                oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
+            )
+        else:
+            views = list(self.sharder.route(oid_arr, xs_arr, ys_arr))
+            per_shard = self._cluster_views(views)
+            for monitor, view, pairs in zip(self._shard_monitors, views, per_shard):
+                monitor.observe_clusters(t, [members for members, _ in pairs])
+                self.stats.halo_copies += view.halo_count
+                fragments.extend(pairs)
+
+        clusters, merges = merge_fragments(fragments)
+        self.stats.clusters += len(clusters)
+        self.stats.border_merges += merges
+        closed = self._chain.observe_clusters(
+            t, clusters, snapshot=(oid_arr, xs_arr, ys_arr)
+        )
+        self._publish(closed)
+        return closed
+
+    def _apply_finish(self) -> List[Convoy]:
+        for monitor in self._shard_monitors:
+            monitor.finish()
+        closed = self._chain.finish()
+        self._publish(closed)
+        return closed
 
     def _cluster_views(self, views) -> List[List[Fragment]]:
         """Cluster every shard view, on worker threads when configured."""

@@ -1,0 +1,5 @@
+"""Test-only instrumentation: deterministic fault injection."""
+
+from .faults import FAULTS, FaultInjector, InjectedCrash
+
+__all__ = ["FAULTS", "FaultInjector", "InjectedCrash"]

@@ -1,0 +1,160 @@
+"""Deterministic fault injection for crash-consistency tests.
+
+Durability code paths carry named *crash points* — places where a real
+process could die (SIGKILL, power loss) with observable consequences:
+between an SSTable run write and the WAL truncate, halfway through a
+checkpoint file, mid-append in a log.  In production the hooks are inert
+(one dict lookup on an always-empty dict); a test arms a point and the
+instrumented site raises :class:`InjectedCrash` at a precise, repeatable
+moment::
+
+    from repro.testing import FAULTS, InjectedCrash
+
+    with FAULTS.armed("lsm.flush.before-wal-truncate"):
+        with pytest.raises(InjectedCrash):
+            tree.flush()          # run file written, WAL never truncated
+    reopened = LSMTree(path)      # must recover without loss/duplication
+
+Crash points never suppress or reorder real work — they only stop it at
+the armed instant, exactly like a kill signal would.  The injected
+exception derives from :class:`BaseException` so production ``except
+Exception`` recovery code cannot accidentally swallow a simulated kill.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import BinaryIO, Dict, Iterator, Optional
+
+
+class InjectedCrash(BaseException):
+    """A simulated process kill raised at an armed crash point.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    ``except Exception`` blocks in the code under test do not catch it —
+    a real SIGKILL is not catchable either.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+class _ArmedPoint:
+    __slots__ = ("remaining", "partial")
+
+    def __init__(self, remaining: int, partial: Optional[int]):
+        self.remaining = remaining
+        self.partial = partial
+
+
+class FaultInjector:
+    """Registry of armed crash points, keyed by dotted name.
+
+    ``arm(point, nth=1)`` makes the ``nth`` subsequent hit of ``point``
+    raise; earlier hits pass through.  ``partial=b`` additionally asks
+    partial-write sites to emit exactly ``b`` bytes of their payload
+    before dying (a torn write).  Thread-safe: the service under test may
+    hit points from worker threads.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, _ArmedPoint] = {}
+        self._hits: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self, point: str, nth: int = 1, partial: Optional[int] = None) -> None:
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        if partial is not None and partial < 0:
+            raise ValueError(f"partial must be >= 0, got {partial}")
+        with self._lock:
+            self._armed[point] = _ArmedPoint(nth, partial)
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Forget one armed point, or every one (``point=None``)."""
+        with self._lock:
+            if point is None:
+                self._armed.clear()
+                self._hits.clear()
+            else:
+                self._armed.pop(point, None)
+                self._hits.pop(point, None)
+
+    @contextmanager
+    def armed(
+        self, point: str, nth: int = 1, partial: Optional[int] = None
+    ) -> Iterator[None]:
+        """Arm ``point`` for the duration of the block, then disarm."""
+        self.arm(point, nth=nth, partial=partial)
+        try:
+            yield
+        finally:
+            self.disarm(point)
+
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has been reached since last disarm."""
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    # -- instrumentation hooks ------------------------------------------------
+
+    def crash_point(self, point: str) -> None:
+        """Die here if the point is armed and its countdown has elapsed."""
+        if not self._armed:  # fast path: nothing armed anywhere
+            return
+        self._trigger(point)
+
+    def partial_write(self, point: str, handle: BinaryIO, data: bytes) -> None:
+        """Write ``data`` to ``handle``; die mid-write if ``point`` is armed.
+
+        When armed with ``partial=b``, exactly the first ``b`` bytes are
+        written (and flushed, so they are visible after the "kill") before
+        :class:`InjectedCrash` is raised — the on-disk result is a torn
+        record, as left by a power cut between two ``write(2)`` calls.
+        """
+        if not self._armed:
+            handle.write(data)
+            return
+        spec = self._peek(point)
+        if spec is None:
+            handle.write(data)
+            return
+        cut = len(data) if spec.partial is None else min(spec.partial, len(data))
+        handle.write(data[:cut])
+        handle.flush()
+        raise InjectedCrash(point)
+
+    # -- internals ------------------------------------------------------------
+
+    def _trigger(self, point: str) -> None:
+        with self._lock:
+            spec = self._armed.get(point)
+            if spec is None:
+                return
+            self._hits[point] = self._hits.get(point, 0) + 1
+            spec.remaining -= 1
+            if spec.remaining > 0:
+                return
+            del self._armed[point]
+        raise InjectedCrash(point)
+
+    def _peek(self, point: str) -> Optional[_ArmedPoint]:
+        """Countdown for partial-write sites; returns the spec on trigger."""
+        with self._lock:
+            spec = self._armed.get(point)
+            if spec is None:
+                return None
+            self._hits[point] = self._hits.get(point, 0) + 1
+            spec.remaining -= 1
+            if spec.remaining > 0:
+                return None
+            del self._armed[point]
+            return spec
+
+
+#: The process-wide injector every instrumented site consults.
+FAULTS = FaultInjector()

@@ -1,0 +1,200 @@
+"""Client resilience: retry policy, connection errors, idempotent feeds."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import ConvoySession
+from repro.server import (
+    NO_RETRY,
+    ConvoyClient,
+    ConvoyConnectionError,
+    RetryPolicy,
+    serve_in_background,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _http(status: int, reason: str, body: dict, extra: str = "") -> bytes:
+    payload = json.dumps(body).encode()
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"{extra}"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode() + payload
+
+
+class _ScriptedServer:
+    """Answers one canned response per connection (``None`` = drop it).
+
+    Stands in for a real server in failure-mode tests where the exact
+    byte-level behaviour (a 503 with Retry-After, a dropped connection)
+    must be deterministic.
+    """
+
+    def __init__(self, scripts):
+        self.scripts = list(scripts)
+        self.requests = []
+        self._sock = socket.socket()
+        self._sock.settimeout(10.0)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        for script in self.scripts:
+            conn, _ = self._sock.accept()
+            with conn:
+                if script is None:
+                    continue  # slam the door before reading anything
+                conn.settimeout(5.0)
+                raw = b""
+                while b"\r\n\r\n" not in raw:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    raw += chunk
+                self.requests.append(raw)
+                conn.sendall(script)
+
+    def close(self):
+        self._thread.join(timeout=10)
+        self._sock.close()
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == pytest.approx(1.0)  # capped
+
+    def test_retry_after_raises_the_floor_but_not_past_the_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.0)
+        assert policy.delay(1, retry_after=0.5) == pytest.approx(0.5)
+        assert policy.delay(1, retry_after=30.0) == pytest.approx(1.0)
+        assert policy.delay(4, retry_after=0.1) == pytest.approx(0.8)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=0.2, max_delay=1.0, jitter=0.5)
+        for attempt in range(1, 5):
+            base = min(1.0, 0.2 * 2 ** (attempt - 1))
+            for _ in range(20):
+                assert base / 2 <= policy.delay(attempt) <= base
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        assert NO_RETRY.attempts == 1
+
+
+class TestConnectionErrors:
+    def test_unreachable_server_raises_typed_error(self):
+        port = _free_port()  # nothing listens here
+        client = ConvoyClient("127.0.0.1", port, retry=NO_RETRY)
+        with pytest.raises(ConvoyConnectionError) as excinfo:
+            client.healthz()
+        error = excinfo.value
+        assert (error.host, error.port, error.attempts) == ("127.0.0.1", port, 1)
+        assert error.status == 0
+        assert isinstance(error, Exception)  # reaches plain except blocks
+
+    def test_retries_exhaust_then_report_attempt_count(self):
+        port = _free_port()
+        policy = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.01)
+        client = ConvoyClient("127.0.0.1", port, retry=policy)
+        with pytest.raises(ConvoyConnectionError) as excinfo:
+            client.healthz()
+        assert excinfo.value.attempts == 3
+        assert client.retries_total == 2
+
+    def test_dropped_connection_retries_to_success(self):
+        server = _ScriptedServer([
+            None,  # connection refused-ish: accepted then dropped
+            _http(200, "OK", {"status": "ok"}),
+        ])
+        policy = RetryPolicy(attempts=5, base_delay=0.001, max_delay=0.01)
+        client = ConvoyClient("127.0.0.1", server.port, retry=policy)
+        assert client.healthz() == {"status": "ok"}
+        client.close()
+        server.close()
+
+
+class Test503Backpressure:
+    def test_503_retried_honouring_retry_after(self):
+        server = _ScriptedServer([
+            _http(503, "Service Unavailable", {"error": {"message": "busy"}},
+                  extra="Retry-After: 0.01\r\n"),
+            _http(200, "OK", {"status": "ok"}),
+        ])
+        policy = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.05)
+        client = ConvoyClient("127.0.0.1", server.port, retry=policy)
+        assert client.healthz() == {"status": "ok"}
+        assert client.retries_total == 1
+        client.close()
+        server.close()
+
+    def test_503_with_no_retry_raises_server_error(self):
+        from repro.server import ConvoyServerError
+
+        server = _ScriptedServer([
+            _http(503, "Service Unavailable", {"error": {"message": "busy"}}),
+        ])
+        client = ConvoyClient("127.0.0.1", server.port, retry=NO_RETRY)
+        with pytest.raises(ConvoyServerError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert not isinstance(excinfo.value, ConvoyConnectionError)
+        client.close()
+        server.close()
+
+
+class TestIdempotentFeed:
+    def test_client_stamps_monotonic_sequence_numbers(self):
+        service = (
+            ConvoySession.blank().params(m=2, k=3, eps=2.0).feed()
+        )
+        with serve_in_background(service) as handle:
+            client = ConvoyClient("127.0.0.1", handle.port, retry=NO_RETRY)
+            assert client._next_seq == 1
+            client.observe(1, [1, 2], [0.0, 1.0], [0.0, 0.0])
+            client.observe(2, [1, 2], [1.0, 2.0], [0.0, 0.0])
+            assert client._next_seq == 3
+            client.close()
+        service.close()
+
+    def test_resent_batch_deduplicates_server_side(self):
+        """A retry after an ambiguous failure can never double-ingest."""
+        service = (
+            ConvoySession.blank().params(m=2, k=3, eps=2.0).feed()
+        )
+        with serve_in_background(service) as handle:
+            client = ConvoyClient("127.0.0.1", handle.port, retry=NO_RETRY)
+            body = {
+                "t": 1, "oids": [1, 2], "xs": [0.0, 1.0], "ys": [0.0, 0.0],
+                "src": "retrying-client", "seq": 1,
+            }
+            first = client._request("POST", "/feed", dict(body))
+            resent = client._request("POST", "/feed", dict(body))
+            assert first["duplicate"] is False
+            assert resent["duplicate"] is True
+            stats = client.stats()
+            assert stats["ingest"]["ticks"] == 1  # applied exactly once
+            assert stats["ingest"]["duplicates"] == 1
+            client.close()
+        service.close()
