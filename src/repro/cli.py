@@ -1,4 +1,4 @@
-"""Command-line interface: ``repro-convoy generate | mine | info | serve | query``.
+"""Command-line interface: ``repro-convoy generate | mine | info | serve | stats | query``.
 
 Every subcommand is a thin shell over the :class:`repro.api.ConvoySession`
 facade — the same surface library users script against.
@@ -14,11 +14,13 @@ Examples::
     repro-convoy serve -m 3 -k 10 --eps 50 --index-dir ./idx --durable --http 8080
     repro-convoy query ./idx --time 10:80
     repro-convoy query ./idx --object 42
+    repro-convoy stats --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import warnings
 from typing import List, Optional
@@ -161,6 +163,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="batches between durable checkpoints (default 64)",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="pretty-print a live server's metrics snapshot"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8080)
+    stats.add_argument(
+        "--raw",
+        action="store_true",
+        help="dump the raw Prometheus exposition from /metrics instead",
     )
 
     query = commands.add_parser(
@@ -399,6 +412,64 @@ def _query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats(args: argparse.Namespace) -> int:
+    """Fetch and pretty-print a running server's observability snapshot."""
+    from .server.client import NO_RETRY, ConvoyClient, ConvoyServerError
+
+    client = ConvoyClient(args.host, args.port, retry=NO_RETRY)
+    try:
+        if args.raw:
+            print(client.metrics_text(), end="")
+            return 0
+        stats = client.stats()
+    except ConvoyServerError as error:
+        print(f"cannot fetch stats from {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+    print(f"server {args.host}:{args.port}")
+    print(f"  requests {stats['requests']}  errors {stats['errors']}  "
+          f"rejected {stats['rejected']}  timeouts {stats['timeouts']}  "
+          f"pending writes {stats['pending_writes']}")
+    for route in sorted(stats["by_route"]):
+        print(f"    {route:<24s} {stats['by_route'][route]}")
+    cache = stats["cache"]
+    print(f"  cache: {cache['hits']} hits / {cache['misses']} misses / "
+          f"{cache['evictions']} evictions "
+          f"({cache['hit_rate'] * 100:.1f}% hit rate)")
+    index = stats["index"]
+    print(f"  index: {index['convoys']} convoys @ version {index['version']}")
+    if stats.get("ingest"):
+        ingest = stats["ingest"]
+        print(f"  ingest: {ingest['ticks']} ticks, {ingest['points']} points, "
+              f"{ingest['closed_convoys']} closed, "
+              f"{ingest['duplicates']} duplicates")
+    if stats.get("durability"):
+        durability = stats["durability"]
+        print(f"  durability: {durability['checkpoints']} checkpoints, "
+              f"{durability['recovered_records']} records recovered")
+    histograms = stats.get("metrics", {}).get("histograms", {})
+    timed = sorted(
+        (key, h) for key, h in histograms.items() if h["count"]
+    )
+    if timed:
+        print("  latency (p50 / p95 / p99 ms, count):")
+        for key, h in timed:
+            print(f"    {key:<52s} {h['p50'] * 1e3:8.3f} / "
+                  f"{h['p95'] * 1e3:8.3f} / {h['p99'] * 1e3:8.3f}  "
+                  f"n={h['count']}")
+    traces = stats.get("traces", {})
+    slow = traces.get("slow", [])
+    if slow:
+        print(f"  slow traces (>= {traces['slow_threshold_ms']:g} ms):")
+        for record in slow[-5:]:
+            print(f"    {record['trace_id']}  {record['name']:<20s} "
+                  f"{record['duration_ms']:.1f} ms")
+    return 0
+
+
 def _info(args: argparse.Namespace) -> int:
     info = load_csv(args.dataset).info()
     print(f"points    : {info.num_points}")
@@ -427,9 +498,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "algorithms": _algorithms,
         "info": _info,
         "serve": _serve,
+        "stats": _stats,
         "query": _query,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # `repro-convoy stats | head` closes our stdout mid-print; point
+        # it at devnull so the interpreter's exit-time flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

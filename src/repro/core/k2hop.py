@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.obs import METRICS
+
 from .bench_points import benchmark_points, hop_windows
 from .candidates import cluster_benchmark_point, intersect_cluster_sets
 from .extend import extend_left, extend_right
@@ -30,6 +32,14 @@ from .stats import MiningStats
 from .sweep import sweep_restricted
 from .types import Convoy, sort_convoys
 from .validate import validate_convoys
+
+
+_RUNS = METRICS.counter(
+    "repro_mining_runs_total", "Completed k/2-hop mining runs."
+)
+_CONVOYS = METRICS.counter(
+    "repro_mining_convoys_total", "Convoys produced by completed mining runs."
+)
 
 
 @dataclass
@@ -56,10 +66,15 @@ class K2Hop:
         """Mine all maximal fully connected convoys of length >= k."""
         stats = MiningStats(total_points=source.num_points)
         if source.num_points == 0:
-            return MiningResult([], stats)
-        if self.query.k < 2:
-            return self._mine_degenerate(source, stats)
-        return self._mine_hops(source, stats)
+            result = MiningResult([], stats)
+        elif self.query.k < 2:
+            result = self._mine_degenerate(source, stats)
+        else:
+            result = self._mine_hops(source, stats)
+        _RUNS.inc()
+        if result.convoys:
+            _CONVOYS.inc(len(result.convoys))
+        return result
 
     # -- the real pipeline -------------------------------------------------
 

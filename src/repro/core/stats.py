@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro.obs import METRICS
+
 #: Canonical phase names, in pipeline order (mirrors Algorithm 1).
 PHASES = (
     "benchmark_clustering",
@@ -24,6 +26,24 @@ PHASES = (
     "extend_left",
     "validation",
 )
+
+#: Global per-phase instruments: every MiningStats writes through to
+#: these, so `/metrics` and Figure-8i benchmarks read one source.
+#: Children are pre-created for every canonical phase so the exposition
+#: covers mining even in a process that has not mined yet.
+PHASE_SECONDS = METRICS.histogram(
+    "repro_mining_phase_seconds",
+    "Wall-clock seconds per k/2-hop pipeline phase (Figure 8i).",
+    ["phase"],
+)
+PHASE_POINTS = METRICS.counter(
+    "repro_mining_points_total",
+    "Points fetched for clustering per pipeline phase (Table 5).",
+    ["phase"],
+)
+for _phase in PHASES:
+    PHASE_SECONDS.labels(_phase)
+    PHASE_POINTS.labels(_phase)
 
 
 @dataclass
@@ -54,19 +74,26 @@ class MiningStats:
 
     @contextmanager
     def timed(self, phase: str) -> Iterator[None]:
-        """Accumulate wall time of a pipeline phase."""
+        """Accumulate wall time of a pipeline phase.
+
+        Writes through to the global ``repro_mining_phase_seconds``
+        histogram so `/metrics` and this object agree on one timing
+        source.
+        """
         started = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - started
             self.phase_times[phase] = self.phase_times.get(phase, 0.0) + elapsed
+            PHASE_SECONDS.labels(phase).observe(elapsed)
 
     def add_points(self, phase: str, count: int) -> None:
         # Guarded: the parallel miner updates counters from worker threads.
         with self._lock:
             current = self.points_processed_by_phase.get(phase, 0)
             self.points_processed_by_phase[phase] = current + count
+        PHASE_POINTS.labels(phase).inc(count)
 
     @property
     def points_processed(self) -> int:

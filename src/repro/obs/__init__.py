@@ -1,0 +1,55 @@
+"""Observability: the process-wide metrics registry and tracer.
+
+``repro.obs`` deliberately imports nothing from the rest of ``repro``
+so every layer (core, service, storage, server) can depend on it
+without cycles.  The module-level singletons are the ones the whole
+stack reports into:
+
+* :data:`METRICS` — the global :class:`~repro.obs.metrics.MetricsRegistry`.
+  Disable it up front with ``REPRO_METRICS=0`` in the environment
+  (instruments become shared no-op nulls; nothing is allocated), or at
+  runtime with :func:`set_enabled` (live instruments become flag-check
+  no-ops).
+* :data:`TRACER` — the global :class:`~repro.obs.tracing.Tracer`
+  holding the recent-trace ring buffer and the slow log.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import TRACE_HEADER, Tracer, current_trace_id, new_trace_id
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "TRACE_HEADER",
+    "TRACER",
+    "Tracer",
+    "current_trace_id",
+    "new_trace_id",
+    "set_enabled",
+]
+
+_ENABLED = os.environ.get("REPRO_METRICS", "1").lower() not in (
+    "0", "off", "false", "no",
+)
+
+METRICS = MetricsRegistry(enabled=_ENABLED)
+TRACER = Tracer()
+
+
+def set_enabled(enabled: bool) -> None:
+    """Toggle metrics collection globally at runtime."""
+    METRICS.set_enabled(enabled)

@@ -1,0 +1,206 @@
+"""Lightweight request tracing: contextvar trace ids, spans, slow log.
+
+A *trace* is one logical request — an HTTP call, an ingest tick, a
+mining run.  The server opens it (propagating the client's
+``X-Trace-Id`` header when present), and every layer underneath adds
+*spans* (named timed sections) to whatever trace is active in the
+current :mod:`contextvars` context.  Because the server copies its
+context into executor jobs, spans recorded inside worker threads attach
+to the right request.
+
+Completed traces land in a bounded ring buffer (:meth:`Tracer.recent`);
+traces slower than a threshold additionally go to a second ring buffer
+(:meth:`Tracer.slow`) *and* are emitted as a structured JSON line on
+the ``repro.obs.slow`` logger — the slow-query log.
+
+When no trace is active, ``span()`` returns a shared null span, so
+instrumented library code costs ~a dict lookup outside a request.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TRACE_HEADER",
+    "Tracer",
+    "current_trace_id",
+    "new_trace_id",
+]
+
+#: HTTP header carrying (and echoing back) the trace id.
+TRACE_HEADER = "X-Trace-Id"
+
+_slow_log = logging.getLogger("repro.obs.slow")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class _Trace:
+    __slots__ = ("trace_id", "name", "started_at", "_t0", "spans", "_lock")
+
+    def __init__(self, name: str, trace_id: str):
+        self.trace_id = trace_id
+        self.name = name
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.spans: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def add_span(self, name: str, offset_ms: float, duration_ms: float,
+                 detail: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self.spans) < 256:  # bound memory per trace
+                self.spans.append({
+                    "name": name,
+                    "offset_ms": round(offset_ms, 3),
+                    "duration_ms": round(duration_ms, 3),
+                    **({"detail": detail} if detail else {}),
+                })
+
+
+_current_trace: "contextvars.ContextVar[Optional[_Trace]]" = (
+    contextvars.ContextVar("repro_obs_trace", default=None)
+)
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id active in this context, or None outside a trace."""
+    trace = _current_trace.get()
+    return trace.trace_id if trace is not None else None
+
+
+class _Span:
+    __slots__ = ("_trace", "_name", "_detail", "_started")
+
+    def __init__(self, trace: _Trace, name: str, detail: Dict[str, Any]):
+        self._trace = trace
+        self._name = name
+        self._detail = detail
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        now = time.perf_counter()
+        self._trace.add_span(
+            self._name,
+            (self._started - self._trace._t0) * 1000.0,
+            (now - self._started) * 1000.0,
+            self._detail,
+        )
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Ring buffer of recent traces plus a structured slow log."""
+
+    def __init__(self, capacity: int = 256,
+                 slow_threshold_ms: Optional[float] = None,
+                 slow_capacity: int = 128):
+        if slow_threshold_ms is None:
+            import os
+
+            slow_threshold_ms = float(os.environ.get("REPRO_SLOW_MS", "100"))
+        self.capacity = capacity
+        self.slow_threshold_ms = slow_threshold_ms
+        self._lock = threading.Lock()
+        self._recent: List[Dict[str, Any]] = []
+        self._slow: List[Dict[str, Any]] = []
+        self._slow_capacity = slow_capacity
+
+    @contextmanager
+    def trace(self, name: str, trace_id: Optional[str] = None):
+        """Open a trace for the duration of the block.
+
+        Nested calls join the existing trace rather than opening a new
+        one, so an ingest tick inside a traced HTTP request records its
+        spans into the request's trace.
+        """
+        existing = _current_trace.get()
+        if existing is not None:
+            with self.span(name):
+                yield existing.trace_id
+            return
+        trace = _Trace(name, trace_id or new_trace_id())
+        token = _current_trace.set(trace)
+        error: Optional[str] = None
+        try:
+            yield trace.trace_id
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            _current_trace.reset(token)
+            duration_ms = (time.perf_counter() - trace._t0) * 1000.0
+            self._finish(trace, duration_ms, error)
+
+    def span(self, name: str, **detail: Any):
+        """A timed section inside the active trace (no-op outside one)."""
+        trace = _current_trace.get()
+        if trace is None:
+            return _NULL_SPAN
+        return _Span(trace, name, detail)
+
+    def _finish(self, trace: _Trace, duration_ms: float,
+                error: Optional[str]) -> None:
+        record = {
+            "trace_id": trace.trace_id,
+            "name": trace.name,
+            "started_at": trace.started_at,
+            "duration_ms": round(duration_ms, 3),
+            "spans": list(trace.spans),
+        }
+        if error:
+            record["error"] = error
+        with self._lock:
+            self._recent.append(record)
+            if len(self._recent) > self.capacity:
+                del self._recent[: len(self._recent) - self.capacity]
+            if duration_ms >= self.slow_threshold_ms:
+                self._slow.append(record)
+                if len(self._slow) > self._slow_capacity:
+                    del self._slow[: len(self._slow) - self._slow_capacity]
+        if duration_ms >= self.slow_threshold_ms:
+            try:
+                _slow_log.warning("%s", json.dumps(record, default=str))
+            except Exception:  # noqa: BLE001 — logging must never raise
+                pass
+
+    def recent(self, n: int = 20) -> List[Dict[str, Any]]:
+        """The last ``n`` completed traces, newest last."""
+        with self._lock:
+            return [dict(r) for r in self._recent[-n:]]
+
+    def slow(self, n: int = 20) -> List[Dict[str, Any]]:
+        """The last ``n`` traces over the slow threshold, newest last."""
+        with self._lock:
+            return [dict(r) for r in self._slow[-n:]]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()

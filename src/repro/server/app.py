@@ -47,6 +47,7 @@ the process left off.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import queue
 import signal
 import threading
@@ -63,15 +64,44 @@ from ..api.registry import get_miner, list_miners
 from ..api.schema import SchemaError
 from ..core.params import ConvoyQuery
 from ..data.dataset import Dataset
+from ..obs import METRICS, TRACE_HEADER, TRACER, new_trace_id
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    RawResponse,
     Request,
     convoys_to_wire,
     error_payload,
     read_request,
     response_bytes,
 )
+
+_REQUEST_SECONDS = METRICS.histogram(
+    "repro_server_request_seconds",
+    "HTTP request latency per route (dispatch to response-ready).",
+    ["route"],
+)
+_REQUESTS = METRICS.counter(
+    "repro_server_requests_total", "HTTP requests dispatched per route.",
+    ["route"],
+)
+
+
+def _collect_server(server: "ConvoyServer"):
+    stats = server.stats
+    help_ = "Server-side request counters."
+    samples = [
+        ("repro_server_%s_total" % name, "counter", help_, (),
+         float(getattr(stats, name)))
+        for name in ("errors", "reads", "writes", "mines", "rejected",
+                     "timeouts")
+    ]
+    samples.append((
+        "repro_server_pending_writes", "gauge",
+        "Mutations waiting in the single-writer queue.", (),
+        float(server._write_queue.qsize()),
+    ))
+    return samples
 
 
 class _Overloaded(Exception):
@@ -185,6 +215,7 @@ class ConvoyServer:
         self._conn_writers: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping = False
+        METRICS.register_object_collector(self, _collect_server)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -294,8 +325,30 @@ class ConvoyServer:
     ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         route = f"{request.method} {request.path}"
         self.stats.count(route)
+        handler = _ROUTES.get((request.method, request.path))
+        # Metric label cardinality stays bounded: arbitrary paths all
+        # report as "unmatched" (the by_route dict keeps the raw routes).
+        metric_route = route if handler is not None else "unmatched"
+        trace_id = request.headers.get(TRACE_HEADER.lower()) or new_trace_id()
+        started = time.perf_counter()
+        with TRACER.trace(route, trace_id=trace_id):
+            status, payload, extra = await self._dispatch_inner(
+                request, handler, trace_id
+            )
+        if _REQUEST_SECONDS.enabled:
+            _REQUEST_SECONDS.labels(metric_route).observe(
+                time.perf_counter() - started
+            )
+            _REQUESTS.labels(metric_route).inc()
+        # Echo the trace id on every response so client retries correlate.
+        extra = dict(extra) if extra else {}
+        extra.setdefault(TRACE_HEADER, trace_id)
+        return status, payload, extra
+
+    async def _dispatch_inner(
+        self, request: Request, handler: Optional[Callable], trace_id: str
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         try:
-            handler = _ROUTES.get((request.method, request.path))
             if handler is None:
                 if any(path == request.path for _, path in _ROUTES):
                     return 405, error_payload(
@@ -314,14 +367,14 @@ class ConvoyServer:
             self.stats.rejected += 1
             return 503, error_payload(
                 503, str(error), type_name="Overloaded",
-                retry_after=error.retry_after,
+                retry_after=error.retry_after, trace_id=trace_id,
             ), {"Retry-After": f"{error.retry_after:g}"}
         except asyncio.TimeoutError:
             self.stats.timeouts += 1
             return 504, error_payload(
                 504,
                 f"request exceeded the {self.request_timeout:g}s deadline",
-                type_name="Timeout",
+                type_name="Timeout", trace_id=trace_id,
             ), None
         except ProtocolError as error:
             return error.status, error_payload(
@@ -356,8 +409,12 @@ class ConvoyServer:
         if self._stopping:
             raise _Overloaded()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # run_in_executor does not propagate contextvars; carry the
+        # request's trace context into the writer thread explicitly so
+        # ingest spans land in the right trace.
+        context = contextvars.copy_context()
         try:
-            self._write_queue.put_nowait((job, future))
+            self._write_queue.put_nowait((lambda: context.run(job), future))
         except asyncio.QueueFull:
             raise _Overloaded() from None
         return await future
@@ -379,7 +436,10 @@ class ConvoyServer:
 
     async def _in_reader(self, fn: Callable[[], Any]) -> Any:
         """Run a read off the event loop so slow queries don't stall it."""
-        return await asyncio.get_running_loop().run_in_executor(None, fn)
+        context = contextvars.copy_context()
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: context.run(fn)
+        )
 
     # -- handlers --------------------------------------------------------------
 
@@ -411,6 +471,7 @@ class ConvoyServer:
             "cache": {
                 "hits": engine.cache_stats.hits,
                 "misses": engine.cache_stats.misses,
+                "evictions": engine.cache_stats.evictions,
                 "hit_rate": engine.cache_stats.hit_rate,
             },
             "index": {
@@ -427,7 +488,19 @@ class ConvoyServer:
                 "duplicates": ingest.duplicates,
             },
             "durability": self._durability_stats(),
+            "metrics": METRICS.snapshot(),
+            "traces": {
+                "slow_threshold_ms": TRACER.slow_threshold_ms,
+                "recent": TRACER.recent(10),
+                "slow": TRACER.slow(10),
+            },
         }
+
+    async def _get_metrics(self, request: Request) -> Tuple[int, Any]:
+        text = await self._in_reader(METRICS.render_prometheus)
+        return 200, RawResponse(
+            text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+        )
 
     def _durability_stats(self) -> Optional[Dict[str, Any]]:
         ingest_service = self.service.ingest
@@ -488,8 +561,16 @@ class ConvoyServer:
                     if "shard" in request.query else None
                 )
                 fn = lambda: engine.open_candidates(shard)  # noqa: E731
+        selector = selectors[0] if selectors else "all"
+
+        def run_query():
+            # Runs on a reader thread with the request context copied in,
+            # so the span lands in this request's trace.
+            with TRACER.span("query." + selector):
+                return fn()
+
         try:
-            convoys = await self._in_reader(fn)
+            convoys = await self._in_reader(run_query)
         except ValueError as error:
             raise ProtocolError(400, str(error)) from None
         return 200, convoys_to_wire(convoys)
@@ -571,6 +652,7 @@ class ConvoyServer:
 _ROUTES: Dict[Tuple[str, str], Callable] = {
     ("GET", "/healthz"): ConvoyServer._get_healthz,
     ("GET", "/stats"): ConvoyServer._get_stats,
+    ("GET", "/metrics"): ConvoyServer._get_metrics,
     ("GET", "/algorithms"): ConvoyServer._get_algorithms,
     ("GET", "/convoys"): ConvoyServer._get_convoys,
     ("POST", "/feed"): ConvoyServer._post_feed,

@@ -47,6 +47,7 @@ from urllib.parse import urlencode
 
 from ..api.schema import SchemaError
 from ..core.types import Convoy
+from ..obs import TRACE_HEADER, new_trace_id
 from .protocol import convoys_from_wire
 
 BBox = Tuple[float, float, float, float]
@@ -162,6 +163,9 @@ class ConvoyClient:
         # idempotent (the server drops batches it already applied).
         self.src = uuid.uuid4().hex
         self._next_seq = 1
+        #: Trace id of the last logical request (every retry of that
+        #: request shares it, so server-side traces correlate retries).
+        self.last_trace_id: Optional[str] = None
 
     # -- the ConvoyService-shaped surface -------------------------------------
 
@@ -217,6 +221,10 @@ class ConvoyClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/stats")
 
+    def metrics_text(self) -> str:
+        """The server's raw Prometheus exposition (``GET /metrics``)."""
+        return self._request("GET", "/metrics", raw=True)
+
     def algorithms(self) -> List[Dict[str, Any]]:
         """The server's registry with typed parameter schemas."""
         return self._request("GET", "/algorithms")["algorithms"]
@@ -245,24 +253,33 @@ class ConvoyClient:
             target += "?" + urlencode(params)
         return convoys_from_wire(self._request("GET", target))
 
-    def _request(self, method: str, target: str, body: Any = None) -> Any:
+    def _request(self, method: str, target: str, body: Any = None,
+                 raw: bool = False) -> Any:
         """One logical request, retried under the client's policy.
 
         Every request the client issues is safe to retry: reads and
         ``/mine`` are side-effect-free, and feed batches carry their
         ``(src, seq)`` identity so the server deduplicates re-sends.
+        All attempts of one logical request share one ``X-Trace-Id``, so
+        a retry storm shows up server-side as one correlated trace id.
+
+        ``raw=True`` returns the response body as text instead of
+        JSON-decoding it (non-JSON endpoints like ``/metrics``); error
+        statuses still decode the JSON error envelope.
         """
         encoded = None if body is None else json.dumps(body).encode()
-        headers = {} if encoded is None else {
-            "Content-Type": "application/json"
-        }
+        trace_id = new_trace_id()
+        self.last_trace_id = trace_id
+        headers = {TRACE_HEADER: trace_id}
+        if encoded is not None:
+            headers["Content-Type"] = "application/json"
         policy = self.retry
         attempt = 0
         while True:
             attempt += 1
             try:
                 response = self._round_trip(method, target, encoded, headers)
-                raw = response.read()
+                data = response.read()
             except (http.client.HTTPException, ConnectionError, socket.timeout,
                     OSError) as error:
                 self.close()
@@ -282,10 +299,12 @@ class ConvoyClient:
                 self.retries_total += 1
                 time.sleep(policy.delay(attempt, _retry_after(response)))
                 continue
-            payload = json.loads(raw) if raw else {}
             if response.status >= 400:
+                payload = json.loads(data) if data else {}
                 self._raise_for(response.status, payload)
-            return payload
+            if raw:
+                return data.decode()
+            return json.loads(data) if data else {}
 
     def _round_trip(self, method, target, encoded, headers):
         """One request/response, reconnecting once on a dropped keep-alive."""

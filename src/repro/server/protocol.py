@@ -58,6 +58,14 @@ class ProtocolError(Exception):
 
 
 @dataclass
+class RawResponse:
+    """A non-JSON payload with its own content type (e.g. ``/metrics``)."""
+
+    body: bytes
+    content_type: str = "text/plain; charset=utf-8"
+
+
+@dataclass
 class Request:
     """One parsed HTTP request."""
 
@@ -150,8 +158,12 @@ def response_bytes(
     extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Render one HTTP/1.1 response.  ``payload`` is JSON-encoded unless
-    it is already ``bytes``.  ``extra_headers`` adds response headers
+    it is already ``bytes`` or a :class:`RawResponse` (which also sets
+    the content type).  ``extra_headers`` adds response headers
     (e.g. ``Retry-After`` on a 503)."""
+    if isinstance(payload, RawResponse):
+        content_type = payload.content_type
+        payload = payload.body
     if payload is None:
         body = b""
     elif isinstance(payload, bytes):

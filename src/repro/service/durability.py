@@ -42,9 +42,32 @@ import numpy as np
 
 from ..core.types import Timestamp
 from ..extensions.streaming import MonitorState
+from ..obs import METRICS
 from ..testing.faults import FAULTS
 
 logger = logging.getLogger(__name__)
+
+_WAL_APPEND_SECONDS = METRICS.histogram(
+    "repro_service_wal_append_seconds",
+    "Time to frame + write + flush one feed-WAL record.",
+)
+_WAL_APPENDS = METRICS.counter(
+    "repro_service_wal_appends_total", "Feed-WAL records appended."
+)
+_WAL_BYTES = METRICS.counter(
+    "repro_service_wal_bytes_total", "Bytes appended to the feed WAL."
+)
+_WAL_FSYNCS = METRICS.counter(
+    "repro_service_wal_fsyncs_total", "fsync calls issued by the feed WAL."
+)
+_CHECKPOINT_SECONDS = METRICS.histogram(
+    "repro_service_checkpoint_seconds",
+    "Time to encode + atomically persist one service checkpoint.",
+)
+_CHECKPOINT_BYTES = METRICS.counter(
+    "repro_service_checkpoint_bytes_total",
+    "Bytes written into service checkpoints.",
+)
 
 WAL_FILE = "feed.wal"
 CHECKPOINT_FILE = "checkpoint.bin"
@@ -280,15 +303,20 @@ class FeedWAL:
         self._append(writer.getvalue())
 
     def _append(self, payload: bytes) -> None:
-        frame = _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
-        FAULTS.partial_write("service.wal.append", self._file, frame)
-        self._file.flush()  # into the OS: survives a killed process
-        if self.fsync:
-            os.fsync(self._file.fileno())
+        with _WAL_APPEND_SECONDS.time():
+            frame = _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
+            FAULTS.partial_write("service.wal.append", self._file, frame)
+            self._file.flush()  # into the OS: survives a killed process
+            if self.fsync:
+                os.fsync(self._file.fileno())
+                _WAL_FSYNCS.inc()
+        _WAL_APPENDS.inc()
+        _WAL_BYTES.inc(len(frame))
 
     def sync(self) -> None:
         self._file.flush()
         os.fsync(self._file.fileno())
+        _WAL_FSYNCS.inc()
 
     def truncate(self) -> None:
         """Discard the log (its contents are covered by a checkpoint)."""
@@ -422,23 +450,25 @@ class ServiceJournal:
         the full WAL or the new checkpoint with a (harmlessly) stale WAL
         whose records are filtered out by their sequence numbers.
         """
-        payload = encode_checkpoint(state)
-        blob = (
-            _CHECKPOINT_MAGIC
-            + _FRAME.pack(zlib.crc32(payload), len(payload))
-            + payload
-        )
-        tmp_path = self.checkpoint_path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            FAULTS.partial_write("service.checkpoint.write", handle, blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        FAULTS.crash_point("service.checkpoint.before-rename")
-        os.replace(tmp_path, self.checkpoint_path)
-        self._fsync_directory()
-        FAULTS.crash_point("service.checkpoint.before-wal-truncate")
-        self.wal.truncate()
-        self.records_since_checkpoint = 0
+        with _CHECKPOINT_SECONDS.time():
+            payload = encode_checkpoint(state)
+            blob = (
+                _CHECKPOINT_MAGIC
+                + _FRAME.pack(zlib.crc32(payload), len(payload))
+                + payload
+            )
+            tmp_path = self.checkpoint_path + ".tmp"
+            with open(tmp_path, "wb") as handle:
+                FAULTS.partial_write("service.checkpoint.write", handle, blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            FAULTS.crash_point("service.checkpoint.before-rename")
+            os.replace(tmp_path, self.checkpoint_path)
+            self._fsync_directory()
+            FAULTS.crash_point("service.checkpoint.before-wal-truncate")
+            self.wal.truncate()
+            self.records_since_checkpoint = 0
+        _CHECKPOINT_BYTES.inc(len(blob))
 
     def load_checkpoint(self) -> Optional[CheckpointState]:
         """The newest valid checkpoint, or ``None`` (fresh or corrupt)."""

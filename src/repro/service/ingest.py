@@ -45,6 +45,7 @@ from ..core.params import ConvoyQuery
 from ..core.types import Convoy, Timestamp
 from ..data.dataset import Dataset
 from ..extensions.streaming import MonitorState, StreamingConvoyMonitor
+from ..obs import METRICS, TRACER
 from ..testing.faults import FAULTS
 from .durability import (
     KIND_FINISH,
@@ -58,6 +59,43 @@ from .reconcile import Fragment, merge_fragments
 from .sharding import GridSharder
 
 logger = logging.getLogger(__name__)
+
+_TICK_SECONDS = METRICS.histogram(
+    "repro_ingest_tick_seconds", "End-to-end time to apply one snapshot."
+)
+_SHARD_CLUSTER_SECONDS = METRICS.histogram(
+    "repro_ingest_shard_cluster_seconds",
+    "Per-shard snapshot clustering time.", ["shard"],
+)
+_RECONCILE_SECONDS = METRICS.histogram(
+    "repro_ingest_reconcile_seconds",
+    "Cross-shard fragment reconciliation (border merge) time.",
+)
+_CHAIN_SECONDS = METRICS.histogram(
+    "repro_ingest_chain_seconds",
+    "Global candidate-chain update time per snapshot.",
+)
+
+_INGEST_COUNTER_FIELDS = (
+    "ticks", "points", "halo_copies", "clusters", "border_merges",
+    "closed_convoys", "indexed_convoys", "duplicates", "checkpoints",
+)
+
+
+def _collect_ingest(service: "ConvoyIngestService"):
+    help_ = "Feed-side ingest counters."
+    stats = service.stats
+    samples = [
+        ("repro_ingest_%s_total" % name, "counter", help_, (),
+         float(getattr(stats, name)))
+        for name in _INGEST_COUNTER_FIELDS
+    ]
+    samples.append((
+        "repro_ingest_recovered_records", "gauge",
+        "WAL records replayed at the last recovery.", (),
+        float(stats.recovered_records),
+    ))
+    return samples
 
 
 @dataclass
@@ -143,6 +181,7 @@ class ConvoyIngestService:
             else []
         )
         self._chain = StreamingConvoyMonitor(query, history=history)
+        METRICS.register_object_collector(self, _collect_ingest)
 
     # -- feed ----------------------------------------------------------------
 
@@ -182,7 +221,8 @@ class ConvoyIngestService:
                 f"{len(oid_arr)}/{len(xs_arr)}/{len(ys_arr)} rows"
             )
         if self._journal is not None:
-            self._journal.log_snapshot(src, seq, t, oid_arr, xs_arr, ys_arr)
+            with TRACER.span("ingest.wal", t=int(t)):
+                self._journal.log_snapshot(src, seq, t, oid_arr, xs_arr, ys_arr)
         FAULTS.crash_point("service.observe.after-wal")
         closed = self._apply_snapshot(t, oid_arr, xs_arr, ys_arr)
         self._applied[src] = seq
@@ -244,9 +284,10 @@ class ConvoyIngestService:
         """
         if self._journal is None:
             return
-        self.index.flush()
-        self.stats.checkpoints += 1
-        self._journal.write_checkpoint(self._checkpoint_state())
+        with TRACER.span("ingest.checkpoint"):
+            self.index.flush()
+            self.stats.checkpoints += 1
+            self._journal.write_checkpoint(self._checkpoint_state())
 
     def _checkpoint_state(self) -> CheckpointState:
         sharder_config = None
@@ -394,26 +435,35 @@ class ConvoyIngestService:
         self.stats.ticks += 1
         self.stats.points += len(oid_arr)
 
-        fragments: List[Fragment] = []
-        if not self._shard_monitors:  # single shard: cluster directly
-            fragments = cluster_snapshot_with_cores(
-                oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
-            )
-        else:
-            views = list(self.sharder.route(oid_arr, xs_arr, ys_arr))
-            per_shard = self._cluster_views(views)
-            for monitor, view, pairs in zip(self._shard_monitors, views, per_shard):
-                monitor.observe_clusters(t, [members for members, _ in pairs])
-                self.stats.halo_copies += view.halo_count
-                fragments.extend(pairs)
+        with _TICK_SECONDS.time():
+            fragments: List[Fragment] = []
+            if not self._shard_monitors:  # single shard: cluster directly
+                with TRACER.span("ingest.cluster", shards=1), \
+                        _SHARD_CLUSTER_SECONDS.labels("0").time():
+                    fragments = cluster_snapshot_with_cores(
+                        oid_arr, xs_arr, ys_arr, self.query.eps, self.query.m
+                    )
+            else:
+                views = list(self.sharder.route(oid_arr, xs_arr, ys_arr))
+                with TRACER.span("ingest.cluster", shards=len(views)):
+                    per_shard = self._cluster_views(views)
+                for monitor, view, pairs in zip(
+                    self._shard_monitors, views, per_shard
+                ):
+                    monitor.observe_clusters(t, [members for members, _ in pairs])
+                    self.stats.halo_copies += view.halo_count
+                    fragments.extend(pairs)
 
-        clusters, merges = merge_fragments(fragments)
-        self.stats.clusters += len(clusters)
-        self.stats.border_merges += merges
-        closed = self._chain.observe_clusters(
-            t, clusters, snapshot=(oid_arr, xs_arr, ys_arr)
-        )
-        self._publish(closed)
+            with TRACER.span("ingest.reconcile"), _RECONCILE_SECONDS.time():
+                clusters, merges = merge_fragments(fragments)
+            self.stats.clusters += len(clusters)
+            self.stats.border_merges += merges
+            with TRACER.span("ingest.chain"), _CHAIN_SECONDS.time():
+                closed = self._chain.observe_clusters(
+                    t, clusters, snapshot=(oid_arr, xs_arr, ys_arr)
+                )
+            with TRACER.span("ingest.index", closed=len(closed)):
+                self._publish(closed)
         return closed
 
     def _apply_finish(self) -> List[Convoy]:
@@ -426,15 +476,19 @@ class ConvoyIngestService:
     def _cluster_views(self, views) -> List[List[Fragment]]:
         """Cluster every shard view, on worker threads when configured."""
 
-        def one(view) -> List[Fragment]:
+        def one(indexed) -> List[Fragment]:
+            shard, view = indexed
             if not len(view.oids):
                 return []
-            return cluster_snapshot_with_cores(
-                view.oids, view.xs, view.ys, self.query.eps, self.query.m
-            )
+            # Timed inside the worker so serial and pooled runs report
+            # identically; labeled by shard to expose skewed cells.
+            with _SHARD_CLUSTER_SECONDS.labels(str(shard)).time():
+                return cluster_snapshot_with_cores(
+                    view.oids, view.xs, view.ys, self.query.eps, self.query.m
+                )
 
         if not self.workers:
-            return [one(view) for view in views]
+            return [one(pair) for pair in enumerate(views)]
         if self._pool is None:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -442,7 +496,7 @@ class ConvoyIngestService:
                 max_workers=min(self.workers, self._n_shards),
                 thread_name_prefix="repro-ingest",
             )
-        return list(self._pool.map(one, views))
+        return list(self._pool.map(one, enumerate(views)))
 
     def _publish(self, convoys: List[Convoy]) -> None:
         for convoy in convoys:

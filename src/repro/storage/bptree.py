@@ -25,6 +25,7 @@ from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import METRICS
 from .pager import PAGE_SIZE, BufferPool, Pager
 from .interface import IOStats
 from .record import KEY_SIZE, VALUE_SIZE
@@ -47,6 +48,9 @@ class BPlusTree:
     def __init__(self, path: str, stats: Optional[IOStats] = None,
                  pool_pages: int = 256):
         self.stats = stats if stats is not None else IOStats()
+        # Registered before the Pager shares the same object, so the
+        # registry's id-dedupe attributes the series to "bptree".
+        METRICS.register_iostats("bptree", self.stats)
         self._pager = Pager(path, self.stats)
         self._pool = BufferPool(self._pager, pool_pages)
         # Decoded-node cache: parsing a 4 KiB page into Python tuples costs

@@ -17,6 +17,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..obs import METRICS
 from .interface import IOStats
 
 _ROW = struct.Struct(">qqdd")  # oid, t, x, y
@@ -28,6 +29,7 @@ class FlatFileStore:
     def __init__(self, path: str):
         self.path = path
         self.stats = IOStats()
+        METRICS.register_iostats("file", self.stats)
         self._cache: Optional[Dataset] = None
 
     @staticmethod

@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 from typing import Iterator, List, Optional, Tuple
 
+from ...obs import METRICS
 from ...testing.faults import FAULTS
 from ..interface import IOStats
 from ..record import TOMBSTONE
@@ -12,6 +13,22 @@ from .compaction import compact
 from .memtable import MemTable
 from .sstable import SSTable, write_sstable
 from .wal import WriteAheadLog
+
+_FLUSHES = METRICS.counter(
+    "repro_lsm_flushes_total", "Memtable flushes into SSTable runs."
+)
+_FLUSH_BYTES = METRICS.counter(
+    "repro_lsm_flush_bytes_total", "Bytes written by memtable flushes."
+)
+_FLUSH_SECONDS = METRICS.histogram(
+    "repro_lsm_flush_seconds", "Memtable flush duration."
+)
+_COMPACTIONS = METRICS.counter(
+    "repro_lsm_compactions_total", "Full-merge compactions executed."
+)
+_COMPACTION_BYTES = METRICS.counter(
+    "repro_lsm_compaction_bytes_total", "Bytes written by compactions."
+)
 
 
 class LSMTree:
@@ -34,6 +51,7 @@ class LSMTree:
         self.memtable_limit = memtable_limit
         self.compaction_fanin = compaction_fanin
         self.stats = stats if stats is not None else IOStats()
+        METRICS.register_iostats("lsmt", self.stats)
         os.makedirs(directory, exist_ok=True)
         self._memtable = MemTable()
         self._runs: List[SSTable] = []  # newest first
@@ -108,7 +126,11 @@ class LSMTree:
         if len(self._memtable):
             path = self._run_path(self._next_run)
             self._next_run += 1
-            run = write_sstable(path, self._memtable.items(), self.stats)
+            written_before = self.stats.bytes_written
+            with _FLUSH_SECONDS.time():
+                run = write_sstable(path, self._memtable.items(), self.stats)
+            _FLUSHES.inc()
+            _FLUSH_BYTES.inc(self.stats.bytes_written - written_before)
             self._runs.insert(0, run)
             self._memtable.clear()
             self._maybe_compact()
@@ -125,6 +147,7 @@ class LSMTree:
         from .compaction import merge_runs
         from .sstable import write_sstable
 
+        written_before = self.stats.bytes_written
         merged = write_sstable(
             path,
             (
@@ -134,6 +157,8 @@ class LSMTree:
             ),
             self.stats,
         )
+        _COMPACTIONS.inc()
+        _COMPACTION_BYTES.inc(self.stats.bytes_written - written_before)
         for run in self._runs:
             run.close()
             os.remove(run.path)

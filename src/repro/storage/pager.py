@@ -12,6 +12,7 @@ import os
 from collections import OrderedDict
 from typing import Optional
 
+from ..obs import METRICS
 from .interface import IOStats
 
 PAGE_SIZE = 4096
@@ -23,6 +24,7 @@ class Pager:
     def __init__(self, path: str, stats: Optional[IOStats] = None):
         self.path = path
         self.stats = stats if stats is not None else IOStats()
+        METRICS.register_iostats("pager", self.stats)
         exists = os.path.exists(path)
         self._file = open(path, "r+b" if exists else "w+b")
         self._file.seek(0, os.SEEK_END)

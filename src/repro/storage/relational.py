@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..obs import METRICS
 from .bptree import BPlusTree
 from .interface import IOStats
 from .record import decode_key, decode_value, encode_key, encode_value, time_range_keys
@@ -28,6 +29,9 @@ class RelationalStore:
 
     def __init__(self, path: str, pool_pages: int = 256):
         self.stats = IOStats()
+        # Claim the series as "rdbms" before the B+tree underneath would
+        # register the same object under "bptree".
+        METRICS.register_iostats("rdbms", self.stats)
         self._tree = BPlusTree(path, self.stats, pool_pages=pool_pages)
         self.path = path
 

@@ -173,3 +173,41 @@ class TestInfo:
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def live_server(self):
+        from repro.api import ConvoySession
+        from repro.data import plant_convoys
+        from repro.server import serve_in_background
+
+        workload = plant_convoys(
+            n_convoys=2, convoy_size=4, convoy_duration=15, n_noise=10,
+            duration=40, seed=5,
+        )
+        service = (
+            ConvoySession.from_dataset(workload.dataset)
+            .params(m=3, k=10, eps=workload.eps)
+            .serve()
+        )
+        with serve_in_background(service, dataset=workload.dataset) as handle:
+            yield handle
+
+    def test_stats_pretty_prints_server_state(self, live_server, capsys):
+        assert main(["stats", "--host", live_server.host,
+                     "--port", str(live_server.port)]) == 0
+        out = capsys.readouterr().out
+        assert f"server {live_server.host}:{live_server.port}" in out
+        assert "requests" in out and "cache:" in out and "index:" in out
+
+    def test_stats_raw_prints_exposition(self, live_server, capsys):
+        assert main(["stats", "--host", live_server.host,
+                     "--port", str(live_server.port), "--raw"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_server_requests_total counter" in out
+        assert "repro_mining_phase_seconds_bucket" in out
+
+    def test_stats_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["stats", "--port", "1"]) == 2
+        assert "cannot fetch stats" in capsys.readouterr().err

@@ -1,0 +1,329 @@
+"""The metrics registry: instruments, collectors, exposition, no-op mode."""
+
+import gc
+import random
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.metrics import NULL_INSTRUMENT
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("t_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("t_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labels_fork_independent_series(self, registry):
+        counter = registry.counter("req_total", "", ["route"])
+        counter.labels("a").inc(3)
+        counter.labels("b").inc(5)
+        assert counter.labels("a").value == 3
+        assert counter.labels("b").value == 5
+        assert counter.labels("a") is counter.labels("a")  # cached child
+
+    def test_wrong_label_arity_rejected(self, registry):
+        counter = registry.counter("req_total", "", ["route"])
+        with pytest.raises(ValueError, match="label"):
+            counter.labels("a", "b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_callback_read_at_scrape(self, registry):
+        box = {"v": 7}
+        registry.gauge("cb", callback=lambda: box["v"])
+        assert registry.value("cb") == 7
+        box["v"] = 9
+        assert registry.value("cb") == 9
+
+    def test_dead_callback_reads_zero(self, registry):
+        registry.gauge("cb", callback=lambda: 1 / 0)
+        assert registry.value("cb") == 0.0
+
+
+class TestGetOrCreate:
+    def test_same_name_returns_same_instrument(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_labelnames_mismatch_rejected(self, registry):
+        registry.counter("x_total", "", ["a"])
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("x_total", "", ["b"])
+
+    @pytest.mark.parametrize("bad", ["1bad", "sp ace", "dash-ed", ""])
+    def test_bad_metric_name_rejected(self, registry, bad):
+        with pytest.raises(ValueError, match="bad metric name"):
+            registry.counter(bad)
+
+    def test_bad_label_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="bad label name"):
+            registry.counter("ok_total", "", ["le gal"])
+
+
+class TestHistogram:
+    def test_count_and_sum(self, registry):
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.0)
+
+    def test_time_context_manager_observes(self, registry):
+        histogram = registry.histogram("h_seconds")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum > 0
+
+    def test_empty_quantile_is_zero(self, registry):
+        assert registry.histogram("h_seconds").quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self, registry):
+        with pytest.raises(ValueError, match="quantile"):
+            registry.histogram("h_seconds").quantile(1.5)
+
+    def test_quantile_within_bucket_width_of_sorted_oracle(self, registry):
+        """The interpolated quantile may miss by at most one bucket width."""
+        histogram = registry.histogram("h_seconds")
+        rng = random.Random(42)
+        values = [rng.uniform(0.0, 2.0) for _ in range(2000)]
+        for value in values:
+            histogram.observe(value)
+        values.sort()
+        for q in (0.25, 0.50, 0.90, 0.95, 0.99):
+            oracle = values[min(len(values) - 1, int(q * len(values)))]
+            estimate = histogram.quantile(q)
+            # Error bound: the width of the bucket the oracle falls in.
+            edges = (0.0,) + DEFAULT_BUCKETS
+            width = max(
+                hi - lo for lo, hi in zip(edges, edges[1:])
+                if lo <= oracle <= hi or lo <= estimate <= hi
+            )
+            assert abs(estimate - oracle) <= width, (q, oracle, estimate)
+
+    def test_tail_quantile_clamps_to_last_edge(self, registry):
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        histogram.observe(100.0)  # lands in +Inf
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_bucket_samples_are_cumulative_and_end_with_inf(self, registry):
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 0.6, 1.5, 9.0):
+            histogram.observe(value)
+        rows = histogram.samples()
+        buckets = [r for r in rows if r[0] == "h_seconds_bucket"]
+        counts = [value for *_, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert dict(buckets[-1][3])["le"] == "+Inf"
+        assert buckets[-1][4] == 4
+        count_row = next(r for r in rows if r[0] == "h_seconds_count")
+        assert count_row[4] == 4
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_are_exact(self, registry):
+        counter = registry.counter("c_total", "", ["worker"])
+        threads, per_thread, workers = 8, 5000, 4
+
+        def hammer(tid):
+            child = counter.labels(str(tid % workers))
+            for _ in range(per_thread):
+                child.inc()
+
+        pool = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert registry.value("c_total") == threads * per_thread
+
+    def test_concurrent_histogram_observes_are_exact(self, registry):
+        histogram = registry.histogram("h_seconds")
+
+        def hammer():
+            for _ in range(4000):
+                histogram.observe(0.001)
+
+        pool = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert histogram.count == 24000
+        assert histogram.sum == pytest.approx(24.0)
+
+
+class TestCollectors:
+    def test_object_collector_dies_with_owner(self, registry):
+        class Owner:
+            hits = 5
+
+        owner = Owner()
+        registry.register_object_collector(
+            owner, lambda o: [("hits_total", "counter", "", (), float(o.hits))]
+        )
+        assert registry.value("hits_total") == 5
+        del owner
+        gc.collect()
+        assert registry.value("hits_total") == 0.0
+
+    def test_duplicate_counter_samples_sum(self, registry):
+        for hits in (3.0, 4.0):
+            registry.register_collector(
+                lambda hits=hits: [("dup_total", "counter", "", (), hits)]
+            )
+        assert registry.value("dup_total") == 7.0
+
+    def test_duplicate_gauge_samples_take_max(self, registry):
+        for depth in (3.0, 9.0, 4.0):
+            registry.register_collector(
+                lambda depth=depth: [("depth", "gauge", "", (), depth)]
+            )
+        assert registry.value("depth") == 9.0
+
+    def test_iostats_registration_dedupes_shared_object(self, registry):
+        from repro.storage.interface import IOStats
+
+        stats = IOStats()
+        stats.bytes_written = 100
+        registry.register_iostats("rdbms", stats)
+        registry.register_iostats("bptree", stats)  # same object: no-op
+        assert registry.value(
+            "repro_storage_bytes_written_total", {"backend": "rdbms"}
+        ) == 100
+        assert registry.value(
+            "repro_storage_bytes_written_total", {"backend": "bptree"}
+        ) == 0.0
+
+    def test_value_sums_across_label_sets(self, registry):
+        counter = registry.counter("lab_total", "", ["which"])
+        counter.labels("a").inc(2)
+        counter.labels("b").inc(3)
+        assert registry.value("lab_total") == 5
+        assert registry.value("lab_total", {"which": "a"}) == 2
+
+
+class TestExposition:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c_total").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h_seconds").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c_total"] == 2
+        assert snapshot["gauges"]["g"] == 7
+        summary = snapshot["histograms"]["h_seconds"]
+        assert summary["count"] == 1
+        assert set(summary) == {"count", "sum", "p50", "p95", "p99"}
+
+    def test_prometheus_text_format(self, registry):
+        counter = registry.counter("req_total", "Requests.", ["route"])
+        counter.labels("GET /x").inc(3)
+        registry.histogram("lat_seconds", "Latency.", buckets=(0.1,)).observe(0.05)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP req_total Requests." in lines
+        assert "# TYPE req_total counter" in lines
+        assert 'req_total{route="GET /x"} 3' in lines
+        assert "# TYPE lat_seconds histogram" in lines
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in lines
+        assert "lat_seconds_count 1" in lines
+        # HELP/TYPE emitted exactly once per family
+        assert sum(line == "# TYPE req_total counter" for line in lines) == 1
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("esc_total", "", ["path"])
+        counter.labels('a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_histogram_buckets_sorted_by_le(self, registry):
+        histogram = registry.histogram("s_seconds", buckets=(0.5, 0.1, 1.0))
+        histogram.observe(0.3)
+        text = registry.render_prometheus()
+        les = [
+            line.split('le="')[1].split('"')[0]
+            for line in text.splitlines()
+            if line.startswith("s_seconds_bucket")
+        ]
+        assert les == ["0.1", "0.5", "1", "+Inf"]
+
+
+class TestNoOpMode:
+    def test_disabled_registry_allocates_nothing(self):
+        disabled = MetricsRegistry(enabled=False)
+        counter = disabled.counter("c_total")
+        histogram = disabled.histogram("h_seconds", "", ["x"])
+        assert counter is NULL_INSTRUMENT
+        assert histogram is NULL_INSTRUMENT
+        assert histogram.labels("anything") is NULL_INSTRUMENT
+        assert histogram.time() is histogram.time()  # shared null timer
+        counter.inc()
+        histogram.observe(1.0)
+        disabled.register_collector(lambda: [("x", "counter", "", (), 1.0)])
+        disabled.register_object_collector(object(), lambda o: [])
+        assert not disabled._metrics
+        assert not disabled._collectors
+        assert disabled.render_prometheus() == ""
+        assert disabled.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_runtime_toggle_freezes_live_instruments(self, registry):
+        counter = registry.counter("c_total")
+        counter.inc(2)
+        registry.set_enabled(False)
+        counter.inc(100)
+        assert counter.value == 2
+        assert registry.render_prometheus() == ""
+        registry.set_enabled(True)
+        counter.inc()
+        assert counter.value == 3
+
+    def test_global_registry_instrument_types(self):
+        # The process-global registry must hand out real instruments (it
+        # is enabled by default) — the whole stack registered into it at
+        # import time.
+        from repro.obs import METRICS
+
+        if METRICS.enabled:
+            assert isinstance(METRICS.counter("probe_total"), Counter)
+            assert isinstance(METRICS.gauge("probe_g"), Gauge)
+            assert isinstance(
+                METRICS.histogram("probe_seconds"), Histogram
+            )

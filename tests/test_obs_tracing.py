@@ -1,0 +1,203 @@
+"""Request tracing: contextvars, spans, slow log, wire propagation."""
+
+import contextvars
+import http.client
+import json
+import logging
+import threading
+import time
+
+import pytest
+
+from repro.api import ConvoyClient, ConvoySession
+from repro.data import plant_convoys
+from repro.obs import TRACE_HEADER, Tracer, current_trace_id, new_trace_id
+from repro.server import serve_in_background
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(slow_threshold_ms=10_000.0)
+
+
+class TestTracer:
+    def test_trace_records_into_recent(self, tracer):
+        with tracer.trace("job") as trace_id:
+            assert current_trace_id() == trace_id
+        assert current_trace_id() is None
+        (record,) = tracer.recent()
+        assert record["trace_id"] == trace_id
+        assert record["name"] == "job"
+        assert record["duration_ms"] >= 0
+        assert record["spans"] == []
+
+    def test_explicit_trace_id_adopted(self, tracer):
+        with tracer.trace("job", trace_id="cafe0001") as trace_id:
+            assert trace_id == "cafe0001"
+        assert tracer.recent()[0]["trace_id"] == "cafe0001"
+
+    def test_spans_attach_to_active_trace(self, tracer):
+        with tracer.trace("job"):
+            with tracer.span("step", rows=3):
+                time.sleep(0.001)
+        (record,) = tracer.recent()
+        (span,) = record["spans"]
+        assert span["name"] == "step"
+        assert span["duration_ms"] >= 1.0
+        assert span["detail"] == {"rows": 3}
+
+    def test_span_outside_trace_is_shared_noop(self, tracer):
+        assert tracer.span("a") is tracer.span("b")
+        with tracer.span("ignored"):
+            pass
+        assert tracer.recent() == []
+
+    def test_nested_trace_joins_as_span(self, tracer):
+        with tracer.trace("outer") as outer_id:
+            with tracer.trace("inner") as inner_id:
+                assert inner_id == outer_id
+        records = tracer.recent()
+        assert len(records) == 1, "nested trace must not open a second record"
+        assert [s["name"] for s in records[0]["spans"]] == ["inner"]
+
+    def test_error_recorded_and_reraised(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.trace("boom"):
+                raise RuntimeError("x")
+        assert tracer.recent()[0]["error"] == "RuntimeError"
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(capacity=4, slow_threshold_ms=10_000.0)
+        for i in range(10):
+            with tracer.trace(f"t{i}"):
+                pass
+        records = tracer.recent(100)
+        assert len(records) == 4
+        assert records[-1]["name"] == "t9"
+
+    def test_span_propagates_through_copied_context(self, tracer):
+        """The server's executor-job pattern: spans from a worker thread
+        land in the submitting request's trace."""
+        def job():
+            with tracer.span("worker.step"):
+                pass
+
+        with tracer.trace("request") as trace_id:
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=lambda: context.run(job))
+            thread.start()
+            thread.join()
+        (record,) = tracer.recent()
+        assert record["trace_id"] == trace_id
+        assert [s["name"] for s in record["spans"]] == ["worker.step"]
+
+    def test_plain_thread_does_not_inherit_trace(self, tracer):
+        seen = {}
+
+        def job():
+            seen["trace_id"] = current_trace_id()
+
+        with tracer.trace("request"):
+            thread = threading.Thread(target=job)
+            thread.start()
+            thread.join()
+        assert seen["trace_id"] is None
+
+
+class TestSlowLog:
+    def test_slow_trace_ring_and_json_log_line(self, caplog):
+        tracer = Tracer(slow_threshold_ms=0.0)  # everything is slow
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slow"):
+            with tracer.trace("slow-job") as trace_id:
+                pass
+        (record,) = tracer.slow()
+        assert record["trace_id"] == trace_id
+        logged = json.loads(caplog.records[-1].message)
+        assert logged["trace_id"] == trace_id
+        assert logged["name"] == "slow-job"
+
+    def test_fast_trace_skips_slow_ring(self):
+        tracer = Tracer(slow_threshold_ms=10_000.0)
+        with tracer.trace("fast"):
+            pass
+        assert tracer.slow() == []
+        assert len(tracer.recent()) == 1
+
+    def test_clear_empties_both_rings(self):
+        tracer = Tracer(slow_threshold_ms=0.0)
+        with tracer.trace("x"):
+            pass
+        tracer.clear()
+        assert tracer.recent() == [] and tracer.slow() == []
+
+
+@pytest.fixture(scope="module")
+def served():
+    workload = plant_convoys(
+        n_convoys=2, convoy_size=4, convoy_duration=15, n_noise=10,
+        duration=40, seed=5,
+    )
+    dataset = workload.dataset
+    service = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=3, k=10, eps=workload.eps)
+        .serve()
+    )
+    with serve_in_background(service, dataset=dataset) as handle:
+        client = ConvoyClient(handle.host, handle.port)
+        yield handle, client
+        client.close()
+
+
+class TestWirePropagation:
+    def test_client_header_echoed_on_response(self, served):
+        handle, _ = served
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        try:
+            conn.request("GET", "/healthz",
+                         headers={TRACE_HEADER: "deadbeef00000001"})
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader(TRACE_HEADER) == "deadbeef00000001"
+        finally:
+            conn.close()
+
+    def test_server_mints_id_when_header_absent(self, served):
+        handle, _ = served
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            minted = response.getheader(TRACE_HEADER)
+            assert minted and len(minted) == 16
+        finally:
+            conn.close()
+
+    def test_client_trace_id_lands_in_server_trace_ring(self, served):
+        _, client = served
+        client.query.time_range(0, 40)
+        trace_id = client.last_trace_id
+        assert trace_id is not None
+        traced = client.stats()["traces"]["recent"]
+        mine = [r for r in traced if r["trace_id"] == trace_id]
+        assert mine, f"trace {trace_id} not in server ring"
+        # The read ran in the reader pool; context propagation means the
+        # query span still attached to this request's trace.
+        assert any(
+            span["name"].startswith("query.")
+            for record in mine for span in record["spans"]
+        )
+
+    def test_stats_exposes_trace_config(self, served):
+        _, client = served
+        traces = client.stats()["traces"]
+        assert "slow_threshold_ms" in traces
+        assert isinstance(traces["recent"], list)
+        assert isinstance(traces["slow"], list)
+
+    def test_metrics_endpoint_serves_prometheus_text(self, served):
+        _, client = served
+        text = client.metrics_text()
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert "repro_mining_phase_seconds_bucket" in text
