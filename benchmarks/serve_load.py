@@ -19,6 +19,12 @@ overlaps, open candidates) at the :class:`ConvoyQueryEngine`, reporting
   with metrics disabled vs enabled, failing when instrumentation costs
   more than ``--max-overhead-pct`` (default 5%) of the metrics-off QPS
   (``metrics_overhead_pct`` is journaled),
+* with ``--analytics``: densify the index with shifted convoy replicas
+  and race the summary-backed analytics (range-restricted windowed and
+  region-grouped top-k) against brute-force raw-index recomputation
+  (``analytics_windowed_speedup`` / ``analytics_topk_speedup``); with
+  ``--overhead-check`` on top, A/B ingest with and without the summary
+  listener attached (``analytics_ingest_overhead_pct``),
 
 and appends the numbers as a ``"serve"`` entry in the ``BENCH_k2hop.json``
 journal.  Run from the repository root::
@@ -310,6 +316,160 @@ def run_restart_benchmark(dataset, query, grid: str, baseline) -> Dict:
     }
 
 
+def run_analytics_benchmark(
+    service, dataset, rng: random.Random,
+    target_convoys: int, queries: int,
+) -> Dict:
+    """Summary-backed analytics vs the brute-force raw-index scan.
+
+    Densifies the index to ``target_convoys`` with time- and id-shifted
+    replicas of the mined convoys (disjoint object ids, so none of them
+    disturb ``update_maximal``), with the analytics engine attached
+    *before* the fill — every replica flows through the incremental
+    summary-maintenance path.  Then fires range-restricted windowed and
+    top-k queries twice: once at the engine (reads only the summary
+    buckets the range covers) and once at the brute oracles (full scan
+    of ``index.records()`` per query), asserting identical answers on a
+    sample before the clocks start.
+    """
+    from repro.analytics import ConvoyAnalytics
+    from repro.analytics.brute import brute_top_k, brute_windowed
+    from repro.core import Convoy
+
+    index = service.index
+    t0 = time.perf_counter()
+    engine = ConvoyAnalytics(index)
+    bootstrap_seconds = time.perf_counter() - t0
+
+    base = index.records()
+    max_oid = max((o for r in base for o in r.convoy.objects), default=0)
+    span = dataset.end_time - dataset.start_time + 1
+    replica = 0
+    t0 = time.perf_counter()
+    while len(index) < target_convoys and base:
+        replica += 1
+        t_shift = replica * span
+        o_shift = replica * (max_oid + 1)
+        for record in base:
+            if len(index) >= target_convoys:
+                break
+            convoy = record.convoy
+            index.add(
+                Convoy.of(
+                    [o + o_shift for o in convoy.objects],
+                    convoy.start + t_shift, convoy.end + t_shift,
+                ),
+                bbox=record.bbox,
+            )
+    fill_seconds = time.perf_counter() - t0
+    records = index.records()
+    domain_end = dataset.end_time + replica * span
+    cell_size = engine.region_cell_size
+
+    # Range-restricted query pool: each query inspects a slice two
+    # dataset-spans wide somewhere in the expanded history — the
+    # dashboard shape ("what happened around then?") — so the summary
+    # path reads a handful of buckets while the brute path always pays
+    # the full raw-index scan.
+    slice_span = min(2 * span, domain_end + 1)
+    width = max(1, span // 4)
+    pool = []
+    for _ in range(16):
+        start = rng.randrange(0, max(1, domain_end - slice_span))
+        pool.append((start, start + slice_span))
+
+    for start, end in pool[:4]:  # correctness sample, outside the clocks
+        assert engine.windowed(width, start=start, end=end) == \
+            brute_windowed(records, width, start=start, end=end)
+        assert engine.top_k(5, group="region", width=width,
+                            start=start, end=end) == \
+            brute_top_k(records, cell_size, 5, group="region", width=width,
+                        start=start, end=end)
+
+    ranges = [pool[i % len(pool)] for i in range(queries)]
+
+    def timed(run) -> float:
+        t0 = time.perf_counter()
+        for start, end in ranges:
+            run(start, end)
+        return time.perf_counter() - t0
+
+    # The brute paths re-read index.records() per query: without the
+    # materialized summaries a naive implementation answers from the
+    # live raw index, and snapshotting it is part of that cost.
+    windowed_fast = timed(
+        lambda s, e: engine.windowed(width, start=s, end=e))
+    windowed_brute = timed(
+        lambda s, e: brute_windowed(index.records(), width, start=s, end=e))
+    topk_fast = timed(
+        lambda s, e: engine.top_k(
+            5, group="region", width=width, start=s, end=e))
+    topk_brute = timed(
+        lambda s, e: brute_top_k(
+            index.records(), cell_size, 5, group="region", width=width,
+            start=s, end=e))
+
+    n = len(ranges)
+    stats = engine.summary.stats
+    return {
+        "analytics_convoys": len(records),
+        "analytics_summary_rows": engine.summary.row_count,
+        "analytics_cotravel_edges": engine.summary.graph.edge_count,
+        "analytics_bootstrap_seconds": bootstrap_seconds,
+        "analytics_fill_seconds": fill_seconds,
+        "analytics_maintenance_seconds": stats.seconds,
+        "analytics_maintenance_adds": stats.adds,
+        "analytics_windowed_qps": (
+            n / windowed_fast if windowed_fast else float("inf")),
+        "analytics_topk_qps": n / topk_fast if topk_fast else float("inf"),
+        "analytics_windowed_speedup": (
+            windowed_brute / windowed_fast if windowed_fast else float("inf")),
+        "analytics_topk_speedup": (
+            topk_brute / topk_fast if topk_fast else float("inf")),
+    }
+
+
+def run_analytics_overhead(dataset, query, grid: str, rounds: int = 3) -> Dict:
+    """Ingest A/B: summary maintenance attached vs not (paired rounds).
+
+    Re-ingests the dataset into a fresh service per pass — once bare,
+    once with a :class:`ConvoyAnalytics` engine listening from the first
+    snapshot — and reports the **minimum** paired overhead across
+    rounds (same reasoning as :func:`run_overhead_check`: noise only
+    ever inflates an estimate).
+    """
+    from repro.analytics import ConvoyAnalytics
+
+    nx, ny = (int(part) for part in grid.lower().split("x"))
+    duration = dataset.end_time - dataset.start_time + 1
+
+    def ingest_seconds(attach: bool) -> float:
+        sharder = GridSharder.for_dataset(dataset, query.eps, nx, ny)
+        svc = ConvoyIngestService(query, sharder=sharder, history=duration)
+        engine = ConvoyAnalytics(svc.index) if attach else None
+        t0 = time.perf_counter()
+        svc.ingest(dataset)
+        elapsed = time.perf_counter() - t0
+        if engine is not None:
+            engine.detach()
+        return elapsed
+
+    estimates = []
+    for _ in range(rounds):
+        bare = ingest_seconds(attach=False)
+        attached = ingest_seconds(attach=True)
+        overhead = (
+            max(0.0, (attached - bare) / bare * 100.0) if bare else 0.0
+        )
+        estimates.append((overhead, bare, attached))
+    overhead_pct, bare, attached = min(estimates)
+    return {
+        "analytics_ingest_seconds_bare": bare,
+        "analytics_ingest_seconds_attached": attached,
+        "analytics_ingest_overhead_pct": overhead_pct,
+    }
+
+
 def _service_handle(ingest_service: ConvoyIngestService):
     """Wrap a bare ingest service in the handle the HTTP server expects."""
     from repro.api.session import ConvoyService
@@ -397,6 +557,29 @@ def main(argv: List[str] = None) -> int:
         help="feed over HTTP into a durable service and restart the "
         "server once mid-feed; fail on any client-visible error or a "
         "convoy mismatch against the uninterrupted run (requires --http)",
+    )
+    parser.add_argument(
+        "--analytics",
+        action="store_true",
+        help="densify the index and benchmark summary-backed analytics "
+        "(windowed + top-k) against brute-force raw-index scans; with "
+        "--overhead-check also A/B ingest with/without the summary "
+        "listener attached",
+    )
+    parser.add_argument(
+        "--analytics-convoys", type=int, default=5000,
+        help="index size the analytics benchmark densifies to "
+        "(default 5000)",
+    )
+    parser.add_argument(
+        "--analytics-queries", type=int, default=40,
+        help="range-restricted analytics queries per timed path "
+        "(default 40)",
+    )
+    parser.add_argument(
+        "--min-analytics-speedup", type=float, default=None,
+        help="fail when either analytics speedup (windowed or top-k, "
+        "summary vs brute) drops below this factor (requires --analytics)",
     )
     parser.add_argument(
         "--overhead-check",
@@ -500,6 +683,49 @@ def main(argv: List[str] = None) -> int:
         f"({region['region_speedup']:.1f}x)"
     )
 
+    analytics_results = {}
+    if args.analytics:
+        # Runs last: densifying mutates the index the blocks above measured.
+        print(
+            f"analytics: densifying to {args.analytics_convoys} convoys, "
+            f"then summary vs brute ...",
+            flush=True,
+        )
+        analytics_results = run_analytics_benchmark(
+            service, dataset, rng,
+            target_convoys=args.analytics_convoys,
+            queries=args.analytics_queries,
+        )
+        print(
+            f"  {analytics_results['analytics_convoys']} convoys -> "
+            f"{analytics_results['analytics_summary_rows']} summary rows, "
+            f"{analytics_results['analytics_cotravel_edges']} co-travel edges  "
+            f"(maintenance "
+            f"{analytics_results['analytics_maintenance_seconds']:.3f}s)"
+        )
+        print(
+            f"  windowed {analytics_results['analytics_windowed_qps']:.0f} qps "
+            f"({analytics_results['analytics_windowed_speedup']:.1f}x brute)   "
+            f"top-k {analytics_results['analytics_topk_qps']:.0f} qps "
+            f"({analytics_results['analytics_topk_speedup']:.1f}x brute)"
+        )
+        if args.overhead_check:
+            print(
+                "A/B-ing ingest with/without summary maintenance ...",
+                flush=True,
+            )
+            analytics_results.update(run_analytics_overhead(
+                dataset, query, f"{nx}x{ny}"
+            ))
+            print(
+                f"  bare "
+                f"{analytics_results['analytics_ingest_seconds_bare']:.2f}s   "
+                f"attached "
+                f"{analytics_results['analytics_ingest_seconds_attached']:.2f}s"
+                f"   overhead "
+                f"{analytics_results['analytics_ingest_overhead_pct']:.2f}%"
+            )
+
     entry = {
         "kind": "serve",
         "label": args.label,
@@ -517,6 +743,7 @@ def main(argv: List[str] = None) -> int:
         **overhead_results,
         **restart_results,
         **region,
+        **analytics_results,
         # Point-in-time registry state (counters, gauges, histogram
         # percentiles) so each journal entry carries the full picture.
         "metrics": METRICS.snapshot(),
@@ -545,6 +772,26 @@ def main(argv: List[str] = None) -> int:
             failures.append(
                 f"instrumentation overhead {overhead:.2f}% > "
                 f"{args.max_overhead_pct}% of metrics-off QPS"
+            )
+    if args.min_analytics_speedup is not None:
+        if not analytics_results:
+            failures.append("--min-analytics-speedup needs --analytics")
+        else:
+            slowest = min(
+                analytics_results["analytics_windowed_speedup"],
+                analytics_results["analytics_topk_speedup"],
+            )
+            if slowest < args.min_analytics_speedup:
+                failures.append(
+                    f"analytics speedup {slowest:.1f}x < "
+                    f"{args.min_analytics_speedup}x over brute"
+                )
+    if args.analytics and args.overhead_check:
+        overhead = analytics_results["analytics_ingest_overhead_pct"]
+        if overhead > args.max_overhead_pct:
+            failures.append(
+                f"summary-maintenance ingest overhead {overhead:.2f}% > "
+                f"{args.max_overhead_pct}%"
             )
     if args.restart:
         if not args.http:

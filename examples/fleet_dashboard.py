@@ -1,0 +1,81 @@
+"""A fleet dashboard over the analytics layer: windows, top-k, co-travel.
+
+Replays a Brinkhoff-style road-network workload through the serving
+stack, then answers every dashboard panel from the incrementally
+maintained summary rows — no raw index scans:
+
+* traffic-by-window: convoy counts and mean lifetimes per time window,
+* hotspots: the busiest region cells with their strongest convoys,
+* co-travel: the object pairs that shared the most convoy ticks, and
+  the travel communities they form,
+* lineage: merge/split stage chains through the longest-lived convoy.
+
+Run with::
+
+    python examples/fleet_dashboard.py
+"""
+
+from repro.api import ConvoySession
+from repro.data import BrinkhoffConfig, BrinkhoffGenerator
+
+
+def main() -> None:
+    dataset = BrinkhoffGenerator(
+        BrinkhoffConfig(max_time=80, obj_begin=60, obj_per_time=2, seed=13)
+    ).generate()
+    service = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=3, k=10, eps=30.0)
+        .serve()
+    )
+    analytics = service.analytics()
+    store = analytics.summary
+    print(f"fleet: {dataset.num_objects} vehicles over "
+          f"{dataset.end_time - dataset.start_time + 1} ticks -> "
+          f"{store.convoy_count} convoys, "
+          f"{store.row_count} summary rows, "
+          f"{store.graph.edge_count} co-travel edges\n")
+
+    print("== traffic by 20-tick window ==")
+    for row in analytics.windowed(20):
+        print(f"  [{row.start:3d},{row.end:3d}]  {row.count:3d} convoys  "
+              f"mean duration {row.mean_duration:5.1f}  "
+              f"largest {row.max_size}")
+
+    print("\n== top convoys per region cell (windowed, by duration) ==")
+    for row in analytics.top_k(2, by="duration", group="region", width=40):
+        print(f"  window {row.window} cell {row.cell}: "
+              f"#{row.rank} convoy {row.cid} "
+              f"[{row.start},{row.end}] x{row.size}")
+
+    print("\n== busiest region cells ==")
+    for row in analytics.group_by_region(by="total_duration", k=5):
+        print(f"  #{row.rank} cell {row.cell}: {row.count} convoys, "
+              f"{row.total_duration} total ticks")
+
+    print("\n== strongest co-travel pairs ==")
+    for a, b, weight in analytics.co_travel_pairs(5):
+        print(f"  {a} <-> {b}: {weight} shared ticks")
+
+    print("\n== travel communities (>= 10 shared ticks) ==")
+    for members in analytics.co_travel_components(min_weight=10):
+        if len(members) > 2:
+            joined = ",".join(str(oid) for oid in members)
+            print(f"  {len(members)} vehicles: {joined}")
+
+    longest = analytics.top_k(1, by="duration")
+    if longest:
+        cid = longest[0].cid
+        lineage = analytics.lineage(cid, min_common=2)
+        print(f"\n== lineage of convoy {cid} "
+              f"[{lineage.start},{lineage.end}] ==")
+        print("  parents:  " + (", ".join(
+            f"{s.cid} (shared {s.shared})" for s in lineage.parents) or "none"))
+        print("  children: " + (", ".join(
+            f"{s.cid} (shared {s.shared})" for s in lineage.children) or "none"))
+        for chain in lineage.chains[:5]:
+            print("  chain: " + " -> ".join(str(c) for c in chain))
+
+
+if __name__ == "__main__":
+    main()

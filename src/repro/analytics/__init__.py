@@ -1,0 +1,46 @@
+"""Analytic query layer over convoy history.
+
+The serving layer answers point lookups ("which convoys overlap
+[t1, t2]?"); this package answers aggregate questions a fleet operator
+asks — windowed counts and durations, top-k rankings per region per
+window, co-travel structure, and merge/split lineage — from summary
+rows maintained incrementally as convoys close, never by scanning the
+raw index.
+
+Entry points: ``service.analytics()`` on a
+:class:`~repro.api.session.ConvoyService`, the ``analytics`` CLI
+subcommand, and the ``/analytics/*`` HTTP routes.
+"""
+
+from .cotravel import CoTravelGraph
+from .engine import (
+    ConvoyAnalytics,
+    Lineage,
+    LineageStage,
+    OBJECT_METRICS,
+    ObjectRow,
+    REGION_METRICS,
+    RegionRow,
+    TOP_K_METRICS,
+    TopConvoyRow,
+    WindowRow,
+)
+from .summary import ConvoyStat, SummaryStore
+from .windows import WindowSpec
+
+__all__ = [
+    "CoTravelGraph",
+    "ConvoyAnalytics",
+    "ConvoyStat",
+    "Lineage",
+    "LineageStage",
+    "OBJECT_METRICS",
+    "ObjectRow",
+    "REGION_METRICS",
+    "RegionRow",
+    "SummaryStore",
+    "TOP_K_METRICS",
+    "TopConvoyRow",
+    "WindowRow",
+    "WindowSpec",
+]

@@ -1,0 +1,111 @@
+"""Co-travel graph: objects as nodes, shared-convoy duration as edges.
+
+Every stored convoy contributes its duration to the edge weight of each
+member pair, so ``weight(a, b)`` is the total number of ticks ``a`` and
+``b`` have spent travelling in the same (maximal) convoy.  The graph is
+maintained incrementally — ``+= duration`` when a convoy is indexed,
+``-= duration`` when maximality evicts it — which keeps it exactly equal
+to a recomputation over the current convoy set at all times.
+
+Maintenance is O(size²) per convoy (one update per member pair); convoy
+sizes in this workload are tens at most, so the quadratic term stays
+well below the clustering cost that produced the convoy in the first
+place.
+
+Queries: ranked neighbors of one object, global top-k pairs (bounded
+heap), and connected components above a weight threshold (union-find).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..clustering.unionfind import UnionFind
+
+
+class CoTravelGraph:
+    """Undirected weighted graph over object ids, duration-weighted."""
+
+    def __init__(self) -> None:
+        # Symmetric adjacency: _weights[a][b] == _weights[b][a] > 0.
+        self._weights: Dict[int, Dict[int, int]] = {}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def add_convoy(self, objects: Iterable[int], duration: int) -> None:
+        for a, b in combinations(sorted(objects), 2):
+            self._bump(a, b, duration)
+
+    def remove_convoy(self, objects: Iterable[int], duration: int) -> None:
+        for a, b in combinations(sorted(objects), 2):
+            self._bump(a, b, -duration)
+
+    def _bump(self, a: int, b: int, delta: int) -> None:
+        for u, v in ((a, b), (b, a)):
+            row = self._weights.setdefault(u, {})
+            weight = row.get(v, 0) + delta
+            if weight > 0:
+                row[v] = weight
+            else:
+                # Durations are exact integers, so a fully evicted pair
+                # lands back on 0 — drop the edge (and empty nodes) so
+                # the graph never accumulates dead entries.
+                row.pop(v, None)
+                if not row:
+                    del self._weights[u]
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._weights)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(row) for row in self._weights.values()) // 2
+
+    def weight(self, a: int, b: int) -> int:
+        return self._weights.get(a, {}).get(b, 0)
+
+    def neighbors(self, oid: int, k: Optional[int] = None) -> List[Tuple[int, int]]:
+        """``(other, weight)`` pairs, heaviest first (ties: smaller id)."""
+        row = self._weights.get(int(oid))
+        if not row:
+            return []
+        items = list(row.items())
+        key = lambda item: (-item[1], item[0])  # noqa: E731
+        if k is None:
+            return sorted(items, key=key)
+        return heapq.nsmallest(int(k), items, key=key)
+
+    def pairs(self) -> Iterator[Tuple[int, int, int]]:
+        """Every edge once, as ``(a, b, weight)`` with ``a < b``."""
+        for a, row in self._weights.items():
+            for b, weight in row.items():
+                if a < b:
+                    yield a, b, weight
+
+    def top_pairs(self, k: int) -> List[Tuple[int, int, int]]:
+        """The ``k`` heaviest co-travel pairs (bounded heap selection)."""
+        key = lambda edge: (-edge[2], edge[0], edge[1])  # noqa: E731
+        return heapq.nsmallest(int(k), self.pairs(), key=key)
+
+    def components(self, min_weight: int = 1) -> List[List[int]]:
+        """Connected components over edges with ``weight >= min_weight``.
+
+        Returns one sorted member list per component (singletons
+        included for nodes whose every edge falls below the threshold),
+        largest component first.
+        """
+        nodes = sorted(self._weights)
+        slot = {oid: i for i, oid in enumerate(nodes)}
+        forest = UnionFind(len(nodes))
+        for a, b, weight in self.pairs():
+            if weight >= min_weight:
+                forest.union(slot[a], slot[b])
+        groups: Dict[int, List[int]] = {}
+        for oid in nodes:
+            groups.setdefault(forest.find(slot[oid]), []).append(oid)
+        return sorted(groups.values(), key=lambda c: (-len(c), c))

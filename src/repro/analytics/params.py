@@ -1,0 +1,108 @@
+"""Typed parameter schemas for the analytics HTTP routes (and CLI).
+
+Reuses the algorithm-parameter machinery from :mod:`repro.api.schema`
+(submodule import — the api package pulls the server package in, so the
+package-level import would cycle): every ``/analytics/*`` route
+validates its query string through one of these schemas, so unknown
+names, type errors and bounds violations all answer 400 with the same
+typed ``SchemaError`` envelope as ``POST /mine``.
+
+The schema layer has no "required" notion (omitted params stay
+omitted), so the one mandatory parameter per route is enforced with
+:func:`require` after validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..api.schema import Param, ParamSchema, SchemaError
+from .engine import OBJECT_METRICS, REGION_METRICS, TOP_K_METRICS
+
+_WINDOW_PARAMS = (
+    Param("width", int, minimum=1, doc="window span in ticks"),
+    Param("step", int, minimum=1,
+          doc="window stride (defaults to width: tumbling)"),
+    Param("origin", int, default=0, doc="timestamp where window 0 starts"),
+    Param("start", int, doc="only convoys ending at or after this tick"),
+    Param("end", int, doc="only convoys ending at or before this tick"),
+)
+
+WINDOWS_SCHEMA = ParamSchema(_WINDOW_PARAMS, algorithm="analytics/windows")
+
+TOPK_SCHEMA = ParamSchema(
+    (
+        Param("k", int, default=10, minimum=1, doc="entries per group"),
+        Param("by", str, default="duration", choices=TOP_K_METRICS,
+              doc="ranking metric"),
+        # Nullable on purpose: the wire coerces the literal string
+        # "none" to None (the schema's null sentinel), so a default of
+        # "none" would reject itself.  Handlers map None back to "none".
+        Param("group", str, choices=("none", "region"),
+              doc="one ranking, or one per region cell"),
+    ) + _WINDOW_PARAMS,
+    algorithm="analytics/topk",
+)
+
+REGIONS_SCHEMA = ParamSchema(
+    (
+        Param("by", str, default="count", choices=REGION_METRICS,
+              doc="ranking metric"),
+        Param("k", int, minimum=1, doc="keep only the top k cells"),
+        Param("start", int, doc="only convoys ending at or after this tick"),
+        Param("end", int, doc="only convoys ending at or before this tick"),
+    ),
+    algorithm="analytics/regions",
+)
+
+OBJECTS_SCHEMA = ParamSchema(
+    (
+        Param("by", str, default="total_duration", choices=OBJECT_METRICS,
+              doc="ranking metric"),
+        Param("k", int, minimum=1, doc="keep only the top k objects"),
+    ),
+    algorithm="analytics/objects",
+)
+
+COTRAVEL_SCHEMA = ParamSchema(
+    (
+        Param("object", int, minimum=0,
+              doc="rank this object's co-travellers instead of all pairs"),
+        Param("k", int, default=10, minimum=1, doc="pairs / neighbors to keep"),
+        Param("components", bool, default=False,
+              doc="return travel communities instead of pairs"),
+        Param("min_weight", int, default=1, minimum=1,
+              doc="component edge threshold in shared ticks"),
+    ),
+    algorithm="analytics/cotravel",
+)
+
+LINEAGE_SCHEMA = ParamSchema(
+    (
+        Param("convoy", int, minimum=0, doc="convoy id to trace"),
+        Param("min_common", int, default=1, minimum=1,
+              doc="members a stage handover must share"),
+        Param("depth", int, default=8, minimum=1,
+              doc="max hops up/down the stage graph"),
+    ),
+    algorithm="analytics/lineage",
+)
+
+
+def require(values: Mapping[str, Any], name: str, schema: ParamSchema) -> Any:
+    """The one mandatory parameter of a route, or a typed 400."""
+    if name not in values or values[name] is None:
+        raise SchemaError(
+            f"parameter {name!r} of {schema.algorithm!r} is required",
+            param=name, algorithm=schema.algorithm,
+        )
+    return values[name]
+
+
+def validated(schema: ParamSchema, raw: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a query mapping and fill in the schema defaults."""
+    values = schema.validate(raw)
+    for param in schema:
+        if param.name not in values and param.default is not None:
+            values[param.name] = param.default
+    return values

@@ -1,0 +1,81 @@
+"""Window semantics for convoy-lifetime aggregation.
+
+A convoy is an *event that closes*: the ingest service publishes it when
+its last snapshot is validated, and its end timestamp is the natural
+event time for aggregation (the start would attribute a convoy to a
+window long before anything is known about it).  Every windowed analytic
+therefore assigns a convoy to the window(s) whose span contains its
+**end timestamp**.
+
+Windows are half-open integer spans: window ``j`` of a
+:class:`WindowSpec` covers end-times in ``[origin + j*step,
+origin + j*step + width)``.  With ``step == width`` (the default) the
+windows tile the timeline — *tumbling* windows, each convoy in exactly
+one.  With ``step < width`` they overlap — *sliding* windows, each
+convoy in ``ceil(width / step)``-ish of them.  ``step > width`` is
+sampling (gaps between windows) and is allowed too.
+
+Because assignment is a pure function of the end timestamp, per-end-tick
+summary rows compose exactly into any window over them — the identity
+the property tests in ``tests/test_analytics_equivalence.py`` assert
+against brute-force recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A tumbling (``step == width``) or sliding window layout.
+
+    Attributes
+    ----------
+    width:
+        Span of each window in ticks (>= 1).
+    step:
+        Distance between consecutive window starts (>= 1).
+    origin:
+        Timestamp where window 0 starts; windows extend in both
+        directions from it, so negative indices are valid.
+    """
+
+    width: int
+    step: int
+    origin: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"window width must be >= 1, got {self.width}")
+        if self.step < 1:
+            raise ValueError(f"window step must be >= 1, got {self.step}")
+
+    @classmethod
+    def of(
+        cls, width: int, step: Optional[int] = None, origin: int = 0
+    ) -> "WindowSpec":
+        """``step=None`` means tumbling (step equals width)."""
+        return cls(int(width), int(width if step is None else step), int(origin))
+
+    @property
+    def tumbling(self) -> bool:
+        return self.step == self.width
+
+    def indices_of(self, t: int) -> range:
+        """Indices of every window whose span contains timestamp ``t``.
+
+        Window ``j`` contains ``t`` iff ``j*step <= t - origin <
+        j*step + width``; both bounds floor-divide exactly on integers
+        (Python ``//`` floors, so negative offsets work unchanged).
+        """
+        offset = t - self.origin
+        first = (offset - self.width) // self.step + 1
+        last = offset // self.step
+        return range(first, last + 1)
+
+    def span(self, j: int) -> Tuple[int, int]:
+        """Inclusive ``(start, end)`` tick span of window ``j``."""
+        start = self.origin + j * self.step
+        return start, start + self.width - 1

@@ -54,6 +54,10 @@ from .session import DEFAULT_ALGORITHM, ConvoyService, ConvoySession
 
 from . import miners as _miners  # noqa: F401  (populates the registry)
 
+# The analytics package reaches back into repro.api.schema, so it is
+# imported only after the schema module above is bound.
+from ..analytics import ConvoyAnalytics
+
 # Imported last: repro.server reaches back into repro.api submodules, so
 # everything above must already be bound when the cycle closes.
 from ..server.client import (
@@ -65,6 +69,7 @@ from ..server.client import (
 
 __all__ = [
     "Convoy",
+    "ConvoyAnalytics",
     "ConvoyClient",
     "ConvoyConnectionError",
     "ConvoyQuery",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import tempfile
+import threading
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -67,6 +68,8 @@ class ConvoyService:
         self.ingest = ingest
         self.persisted_to = persisted_to
         self._engine = None
+        self._analytics = None
+        self._analytics_lock = threading.Lock()
 
     # -- write side (live feeds only) ---------------------------------------
 
@@ -109,6 +112,35 @@ class ConvoyService:
 
             self._engine = ConvoyQueryEngine(self.index, ingest=self.ingest)
         return self._engine
+
+    def analytics(self, region_cell_size: Optional[float] = None):
+        """The analytic query layer over this service's index (lazy).
+
+        First call attaches a
+        :class:`~repro.analytics.engine.ConvoyAnalytics` to the index —
+        summaries bootstrap from the current contents and stay fresh as
+        convoys close — so a service that never asks for analytics pays
+        nothing.  ``region_cell_size`` fixes the region lattice; it can
+        only be chosen on the first call (later calls with a different
+        value raise, since the summaries are already quantized).
+        """
+        with self._analytics_lock:
+            if self._analytics is None:
+                from ..analytics import ConvoyAnalytics
+
+                self._analytics = ConvoyAnalytics(
+                    self.index, region_cell_size=region_cell_size
+                )
+            elif (
+                region_cell_size is not None
+                and region_cell_size != self._analytics.region_cell_size
+            ):
+                raise ValueError(
+                    "analytics already attached with region_cell_size="
+                    f"{self._analytics.region_cell_size!r}; cannot requantize "
+                    f"to {region_cell_size!r}"
+                )
+            return self._analytics
 
     @property
     def convoys(self) -> List[Convoy]:

@@ -189,6 +189,91 @@ def _build_parser() -> argparse.ArgumentParser:
     what.add_argument(
         "--region", help="bbox overlap query, as xmin,ymin,xmax,ymax"
     )
+
+    analytics = commands.add_parser(
+        "analytics",
+        help="summary-backed analytics over a persisted convoy index",
+    )
+    analytics.add_argument(
+        "index_dir", help="directory written by `serve --index-dir`"
+    )
+    which = analytics.add_mutually_exclusive_group(required=True)
+    which.add_argument(
+        "--windows", type=int, metavar="WIDTH",
+        help="windowed lifetime aggregates (tumbling unless --step)",
+    )
+    which.add_argument(
+        "--top-k", type=int, metavar="K", dest="top_k",
+        help="top-k convoys by --by, optionally per --group",
+    )
+    which.add_argument(
+        "--regions", action="store_true",
+        help="per-region-cell aggregates ranked by --by",
+    )
+    which.add_argument(
+        "--objects", action="store_true",
+        help="per-object aggregates ranked by --by",
+    )
+    which.add_argument(
+        "--pairs", type=int, metavar="K",
+        help="top co-travelling object pairs by shared convoy ticks",
+    )
+    which.add_argument(
+        "--neighbors", type=int, metavar="OID",
+        help="one object's co-travellers, heaviest first",
+    )
+    which.add_argument(
+        "--components", action="store_true",
+        help="co-travel communities at --min-weight shared ticks",
+    )
+    which.add_argument(
+        "--lineage", type=int, metavar="CID",
+        help="merge/split stage chains through one convoy",
+    )
+    analytics.add_argument(
+        "--width", type=int,
+        help="--top-k: also bucket the ranking into windows of this span",
+    )
+    analytics.add_argument("--step", type=int, help="window stride (sliding)")
+    analytics.add_argument(
+        "--origin", type=int, default=0, help="timestamp of window 0"
+    )
+    analytics.add_argument(
+        "--start", type=int, help="only convoys ending at or after this tick"
+    )
+    analytics.add_argument(
+        "--end", type=int, help="only convoys ending at or before this tick"
+    )
+    analytics.add_argument(
+        "--by", help="ranking metric (depends on the analytic)"
+    )
+    analytics.add_argument(
+        "--group", choices=["none", "region"], default="none",
+        help="--top-k: one global ranking, or one per region cell",
+    )
+    analytics.add_argument(
+        "--k", type=int, dest="limit", metavar="K",
+        help="row limit for --regions/--objects/--neighbors",
+    )
+    analytics.add_argument(
+        "--min-weight", type=int, default=1,
+        help="--components: edge threshold in shared ticks",
+    )
+    analytics.add_argument(
+        "--min-common", type=int, default=1,
+        help="--lineage: members a stage handover must share",
+    )
+    analytics.add_argument(
+        "--depth", type=int, default=8,
+        help="--lineage: max hops up/down the stage graph",
+    )
+    analytics.add_argument(
+        "--cell-size", type=float,
+        help="region cell size (default: first convoy's bbox extent)",
+    )
+    analytics.add_argument(
+        "--json", action="store_true", help="emit one JSON object per row"
+    )
     return parser
 
 
@@ -412,6 +497,113 @@ def _query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analytics(args: argparse.Namespace) -> int:
+    import json as _json
+
+    handle = ConvoySession.open(args.index_dir)
+    engine = handle.analytics(region_cell_size=args.cell_size)
+    try:
+        if args.windows is not None:
+            rows = engine.windowed(
+                args.windows, step=args.step, origin=args.origin,
+                start=args.start, end=args.end,
+            )
+            emit = [row.as_dict() for row in rows]
+            text = [
+                f"[{r.start},{r.end}] {r.count} convoys, "
+                f"mean_duration={r.mean_duration:.2f} "
+                f"max_duration={r.max_duration} mean_size={r.mean_size:.2f}"
+                for r in rows
+            ]
+        elif args.top_k is not None:
+            rows = engine.top_k(
+                args.top_k, by=args.by or "duration", group=args.group,
+                width=args.width, step=args.step, origin=args.origin,
+                start=args.start, end=args.end,
+            )
+            emit = [row.as_dict() for row in rows]
+            text = []
+            for r in rows:
+                where = "" if r.cell is None else f" cell={r.cell}"
+                when = "" if r.window is None else f" window={r.window}"
+                text.append(
+                    f"#{r.rank}{when}{where} convoy {r.cid} "
+                    f"[{r.start},{r.end}] size={r.size} "
+                    f"duration={r.duration}"
+                )
+        elif args.regions:
+            rows = engine.group_by_region(
+                by=args.by or "count", k=args.limit,
+                start=args.start, end=args.end,
+            )
+            emit = [row.as_dict() for row in rows]
+            text = [
+                f"#{r.rank} cell={r.cell} count={r.count} "
+                f"total_duration={r.total_duration} max_size={r.max_size}"
+                for r in rows
+            ]
+        elif args.objects:
+            rows = engine.group_by_object(
+                by=args.by or "total_duration", k=args.limit
+            )
+            emit = [row.as_dict() for row in rows]
+            text = [
+                f"#{r.rank} object {r.oid} convoys={r.convoys} "
+                f"total_duration={r.total_duration} "
+                f"max_duration={r.max_duration}"
+                for r in rows
+            ]
+        elif args.pairs is not None:
+            pairs = engine.co_travel_pairs(args.pairs)
+            emit = [{"a": a, "b": b, "weight": w} for a, b, w in pairs]
+            text = [f"{a} <-> {b}: {w} shared ticks" for a, b, w in pairs]
+        elif args.neighbors is not None:
+            neighbors = engine.co_travel_neighbors(args.neighbors, args.limit)
+            emit = [{"object": o, "weight": w} for o, w in neighbors]
+            text = [f"{args.neighbors} <-> {o}: {w} shared ticks"
+                    for o, w in neighbors]
+        elif args.components:
+            components = engine.co_travel_components(args.min_weight)
+            emit = [{"members": members} for members in components]
+            text = [
+                f"component of {len(members)}: "
+                + ",".join(str(o) for o in members)
+                for members in components
+            ]
+        else:
+            lineage = engine.lineage(
+                args.lineage, min_common=args.min_common, depth=args.depth
+            )
+            emit = [lineage.as_dict()]
+            text = [
+                f"convoy {lineage.cid} [{lineage.start},{lineage.end}] "
+                f"size={lineage.size}",
+                "parents: " + (", ".join(
+                    f"{s.cid} (shared {s.shared})" for s in lineage.parents
+                ) or "none"),
+                "children: " + (", ".join(
+                    f"{s.cid} (shared {s.shared})" for s in lineage.children
+                ) or "none"),
+            ] + [
+                "chain: " + " -> ".join(str(c) for c in chain)
+                for chain in lineage.chains
+            ]
+    except (KeyError, ValueError) as error:
+        print(f"bad analytics argument: {error}", file=sys.stderr)
+        handle.close()
+        return 2
+    if args.json:
+        for row in emit:
+            print(_json.dumps(row, sort_keys=True))
+    else:
+        for line in text:
+            print(line)
+        if not text:
+            print("no results")
+    handle.close()
+    return 0
+
+
 def _stats(args: argparse.Namespace) -> int:
     """Fetch and pretty-print a running server's observability snapshot."""
     from .server.client import NO_RETRY, ConvoyClient, ConvoyServerError
@@ -500,6 +692,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _serve,
         "stats": _stats,
         "query": _query,
+        "analytics": _analytics,
     }
     try:
         return handlers[args.command](args)

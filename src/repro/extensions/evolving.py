@@ -99,7 +99,7 @@ def mine_evolving_convoys(
     """
     threshold = query.m if min_common is None else min_common
     stages = mine_pccd(source, query)
-    successors = _stage_edges(stages, threshold)
+    successors = stage_edges(stages, threshold)
     has_predecessor: Set[int] = set()
     for targets in successors.values():
         has_predecessor.update(targets)
@@ -115,22 +115,37 @@ def mine_evolving_convoys(
     )
 
 
-def _stage_edges(
+def stage_link(u: Convoy, v: Convoy, threshold: int) -> bool:
+    """True when stage ``v`` can take over from stage ``u``.
+
+    The handover relation behind both :func:`mine_evolving_convoys` and
+    the serving layer's lineage analytic
+    (:meth:`~repro.analytics.engine.ConvoyAnalytics.lineage`): ``v``
+    starts during ``u`` (or immediately after — no coverage gap),
+    outlives it, and shares at least ``threshold`` members.
+    """
+    return (
+        v.start > u.start
+        and v.start <= u.end + 1
+        and v.end > u.end
+        and len(u.objects & v.objects) >= threshold
+    )
+
+
+def stage_edges(
     stages: Sequence[Convoy], threshold: int
 ) -> Dict[int, List[int]]:
     """``u -> v`` when v takes over from u without a coverage gap."""
     successors: Dict[int, List[int]] = {}
     for i, u in enumerate(stages):
         for j, v in enumerate(stages):
-            if i == j:
-                continue
-            starts_later = v.start > u.start
-            no_gap = v.start <= u.end + 1
-            extends = v.end > u.end
-            if starts_later and no_gap and extends:
-                if len(u.objects & v.objects) >= threshold:
-                    successors.setdefault(i, []).append(j)
+            if i != j and stage_link(u, v, threshold):
+                successors.setdefault(i, []).append(j)
     return successors
+
+
+#: Backwards-compatible alias (pre-analytics name).
+_stage_edges = stage_edges
 
 
 def _extend_chain(

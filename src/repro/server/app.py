@@ -14,7 +14,22 @@ GET       /convoys?...       one of the five query families (below)
 POST      /feed              ingest one snapshot ``{t, oids, xs, ys}``
 POST      /feed/finish       close every open candidate (end of feed)
 POST      /mine              batch-mine the fed points with any algorithm
+GET       /analytics/...     the summary-backed analytic queries (below)
 ========  =================  ==================================================
+
+``GET /analytics/*`` routes (query params validated through the typed
+schemas in :mod:`repro.analytics.params`; violations answer 400 with the
+same ``SchemaError`` envelope as ``POST /mine``):
+
+* ``/analytics/windows?width=W[&step=S&origin=O&start=A&end=B]`` —
+  tumbling/sliding window aggregates over convoy end-times,
+* ``/analytics/topk?k=K[&by=duration|size&group=none|region&width=W...]``
+  — ranked convoys, optionally per window and/or region cell,
+* ``/analytics/regions`` / ``/analytics/objects`` — group-by rankings,
+* ``/analytics/cotravel[?object=oid|components=true&min_weight=T]`` —
+  co-travel pairs, one object's neighbors, or travel communities,
+* ``/analytics/lineage?convoy=CID[&min_common=N&depth=D]`` —
+  merge/split stage lineage of one stored convoy.
 
 ``GET /convoys`` selectors (exactly one):
 
@@ -60,6 +75,16 @@ import numpy as np
 # Submodule imports only (``..api.registry``, not ``..api``): repro.api
 # imports this package for ConvoyClient, so pulling the api *package*
 # here would cycle.
+from ..analytics.params import (
+    COTRAVEL_SCHEMA,
+    LINEAGE_SCHEMA,
+    OBJECTS_SCHEMA,
+    REGIONS_SCHEMA,
+    TOPK_SCHEMA,
+    WINDOWS_SCHEMA,
+    require,
+    validated,
+)
 from ..api.registry import get_miner, list_miners
 from ..api.schema import SchemaError
 from ..core.params import ConvoyQuery
@@ -648,6 +673,122 @@ class ConvoyServer:
             payload["total_points"] = stats.total_points
         return 200, payload
 
+    # -- analytics handlers ----------------------------------------------------
+
+    async def _get_analytics_windows(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        values = validated(WINDOWS_SCHEMA, request.query)
+        width = require(values, "width", WINDOWS_SCHEMA)
+        rows = await self._in_reader(
+            lambda: self.service.analytics().windowed(
+                width, step=values.get("step"), origin=values["origin"],
+                start=values.get("start"), end=values.get("end"),
+            )
+        )
+        return 200, {
+            "width": width,
+            "step": values.get("step", width) or width,
+            "origin": values["origin"],
+            "count": len(rows),
+            "windows": [row.as_dict() for row in rows],
+        }
+
+    async def _get_analytics_topk(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        values = validated(TOPK_SCHEMA, request.query)
+        # "none" arrives as the schema's null sentinel; restore it.
+        group = values.get("group") or "none"
+        rows = await self._in_reader(
+            lambda: self.service.analytics().top_k(
+                values["k"], by=values["by"], group=group,
+                width=values.get("width"), step=values.get("step"),
+                origin=values["origin"],
+                start=values.get("start"), end=values.get("end"),
+            )
+        )
+        return 200, {
+            "k": values["k"], "by": values["by"], "group": group,
+            "count": len(rows),
+            "results": [row.as_dict() for row in rows],
+        }
+
+    async def _get_analytics_regions(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        values = validated(REGIONS_SCHEMA, request.query)
+        analytics = self.service.analytics()
+        rows = await self._in_reader(
+            lambda: analytics.group_by_region(
+                by=values["by"], k=values.get("k"),
+                start=values.get("start"), end=values.get("end"),
+            )
+        )
+        return 200, {
+            "by": values["by"],
+            "cell_size": analytics.region_cell_size,
+            "count": len(rows),
+            "regions": [row.as_dict() for row in rows],
+        }
+
+    async def _get_analytics_objects(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        values = validated(OBJECTS_SCHEMA, request.query)
+        rows = await self._in_reader(
+            lambda: self.service.analytics().group_by_object(
+                by=values["by"], k=values.get("k"),
+            )
+        )
+        return 200, {
+            "by": values["by"], "count": len(rows),
+            "objects": [row.as_dict() for row in rows],
+        }
+
+    async def _get_analytics_cotravel(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        values = validated(COTRAVEL_SCHEMA, request.query)
+        analytics = self.service.analytics()
+        if values["components"]:
+            components = await self._in_reader(
+                lambda: analytics.co_travel_components(values["min_weight"])
+            )
+            return 200, {
+                "min_weight": values["min_weight"],
+                "count": len(components),
+                "components": components,
+            }
+        if values.get("object") is not None:
+            oid = values["object"]
+            neighbors = await self._in_reader(
+                lambda: analytics.co_travel_neighbors(oid, values["k"])
+            )
+            return 200, {
+                "object": oid,
+                "count": len(neighbors),
+                "neighbors": [
+                    {"object": other, "weight": weight}
+                    for other, weight in neighbors
+                ],
+            }
+        pairs = await self._in_reader(
+            lambda: analytics.co_travel_pairs(values["k"])
+        )
+        return 200, {
+            "k": values["k"], "count": len(pairs),
+            "pairs": [
+                {"a": a, "b": b, "weight": weight} for a, b, weight in pairs
+            ],
+        }
+
+    async def _get_analytics_lineage(self, request: Request) -> Tuple[int, Any]:
+        self.stats.reads += 1
+        values = validated(LINEAGE_SCHEMA, request.query)
+        cid = require(values, "convoy", LINEAGE_SCHEMA)
+        lineage = await self._in_reader(
+            lambda: self.service.analytics().lineage(
+                cid, min_common=values["min_common"], depth=values["depth"],
+            )
+        )
+        return 200, lineage.as_dict()
+
 
 _ROUTES: Dict[Tuple[str, str], Callable] = {
     ("GET", "/healthz"): ConvoyServer._get_healthz,
@@ -658,6 +799,12 @@ _ROUTES: Dict[Tuple[str, str], Callable] = {
     ("POST", "/feed"): ConvoyServer._post_feed,
     ("POST", "/feed/finish"): ConvoyServer._post_finish,
     ("POST", "/mine"): ConvoyServer._post_mine,
+    ("GET", "/analytics/windows"): ConvoyServer._get_analytics_windows,
+    ("GET", "/analytics/topk"): ConvoyServer._get_analytics_topk,
+    ("GET", "/analytics/regions"): ConvoyServer._get_analytics_regions,
+    ("GET", "/analytics/objects"): ConvoyServer._get_analytics_objects,
+    ("GET", "/analytics/cotravel"): ConvoyServer._get_analytics_cotravel,
+    ("GET", "/analytics/lineage"): ConvoyServer._get_analytics_lineage,
 }
 
 

@@ -137,6 +137,85 @@ class _ClientQueryEngine:
         return self._client._get_convoys(params)
 
 
+class _ClientAnalytics:
+    """The analytic read API, shaped like
+    :class:`~repro.analytics.engine.ConvoyAnalytics`.
+
+    Methods mirror the engine surface one-to-one but return the wire
+    rows (plain dicts / lists, the ``as_dict`` form of the engine's
+    row dataclasses) rather than reconstructing dataclasses client-side.
+    """
+
+    def __init__(self, client: "ConvoyClient"):
+        self._client = client
+
+    def __call__(self, region_cell_size: Optional[float] = None) -> "_ClientAnalytics":
+        # Mirror the callable ConvoyService.analytics() accessor so the
+        # same call sites work locally and remotely.  The region cell
+        # size is fixed server-side; it cannot be chosen over the wire.
+        if region_cell_size is not None:
+            raise ValueError(
+                "region_cell_size is chosen by the server; "
+                "it cannot be set from a ConvoyClient")
+        return self
+
+    def _get(self, path: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        cleaned = {k: str(v) for k, v in params.items() if v is not None}
+        target = path + ("?" + urlencode(cleaned) if cleaned else "")
+        return self._client._request("GET", target)
+
+    def windowed(self, width: int, step: Optional[int] = None,
+                 origin: int = 0, start: Optional[int] = None,
+                 end: Optional[int] = None) -> List[Dict[str, Any]]:
+        return self._get("/analytics/windows", {
+            "width": int(width), "step": step, "origin": int(origin),
+            "start": start, "end": end,
+        })["windows"]
+
+    def top_k(self, k: int, by: str = "duration", group: str = "none",
+              width: Optional[int] = None, step: Optional[int] = None,
+              origin: int = 0, start: Optional[int] = None,
+              end: Optional[int] = None) -> List[Dict[str, Any]]:
+        return self._get("/analytics/topk", {
+            "k": int(k), "by": by, "group": group, "width": width,
+            "step": step, "origin": int(origin), "start": start, "end": end,
+        })["results"]
+
+    def group_by_region(self, by: str = "count",
+                        k: Optional[int] = None,
+                        start: Optional[int] = None,
+                        end: Optional[int] = None) -> List[Dict[str, Any]]:
+        return self._get("/analytics/regions", {
+            "by": by, "k": k, "start": start, "end": end,
+        })["regions"]
+
+    def group_by_object(self, by: str = "total_duration",
+                        k: Optional[int] = None) -> List[Dict[str, Any]]:
+        return self._get("/analytics/objects", {"by": by, "k": k})["objects"]
+
+    def co_travel_neighbors(self, oid: int,
+                            k: Optional[int] = None) -> List[Dict[str, Any]]:
+        params: Dict[str, Any] = {"object": int(oid)}
+        if k is not None:
+            params["k"] = int(k)
+        return self._get("/analytics/cotravel", params)["neighbors"]
+
+    def co_travel_pairs(self, k: int = 10) -> List[Dict[str, Any]]:
+        return self._get("/analytics/cotravel", {"k": int(k)})["pairs"]
+
+    def co_travel_components(self, min_weight: int = 1) -> List[List[int]]:
+        return self._get("/analytics/cotravel", {
+            "components": "true", "min_weight": int(min_weight),
+        })["components"]
+
+    def lineage(self, cid: int, min_common: int = 1,
+                depth: int = 8) -> Dict[str, Any]:
+        return self._get("/analytics/lineage", {
+            "convoy": int(cid), "min_common": int(min_common),
+            "depth": int(depth),
+        })
+
+
 class ConvoyClient:
     """Blocking HTTP client speaking the convoy server's wire format.
 
@@ -158,6 +237,7 @@ class ConvoyClient:
         self.retries_total = 0  # across the client's lifetime
         self._conn: Optional[http.client.HTTPConnection] = None
         self.query = _ClientQueryEngine(self)
+        self.analytics = _ClientAnalytics(self)
         # Feed-batch identity: every observe()/finish() is stamped with
         # this source id and the next sequence number, making retries
         # idempotent (the server drops batches it already applied).

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.bitset import ObjectInterner, ObjectMask
 from ..core.types import Convoy, sort_convoys
+from ..obs import METRICS
 from .backends import MemoryResultBackend, ResultBackend
 from .records import (
     FIELD_LIMIT,
@@ -79,14 +80,22 @@ _MAX_GRID_CELLS = 64
 #: Below this record count the linear scan beats the grid's probe overhead.
 _GRID_MIN_RECORDS = 64
 
+_GRID_REBUILDS = METRICS.counter(
+    "repro_index_grid_rebuilds_total",
+    "Region-grid rebuilds actually performed (bbox set changed).",
+)
+
 
 class _RegionGrid:
     """Uniform grid over the stored convoy bounding boxes.
 
-    Rebuilt lazily whenever the index version moves (writes are batchy —
+    Rebuilt lazily whenever the *bbox set* moves (writes are batchy —
     ingest, then many queries — so one O(n) rebuild amortises over the
-    whole read phase).  A region query probes only the cells its
-    rectangle overlaps instead of scanning every record.
+    whole read phase).  The index tracks a dedicated ``bbox_version``
+    bumped only by mutations that touch a bboxed record: version bumps
+    from bbox-less convoys used to trigger a full O(n) rebuild for a
+    grid that could not have changed.  A region query probes only the
+    cells its rectangle overlaps instead of scanning every record.
 
     The grid is *self-contained*: it carries its own ``{cid: bbox}``
     snapshot taken at build time, so a query never touches the index's
@@ -97,10 +106,12 @@ class _RegionGrid:
     (the HTTP front serves parallel reads off exactly this path).
     """
 
-    __slots__ = ("version", "nx", "ny", "x0", "y0", "cw", "ch", "cells", "bboxes")
+    __slots__ = (
+        "bbox_version", "nx", "ny", "x0", "y0", "cw", "ch", "cells", "bboxes",
+    )
 
-    def __init__(self, version: int):
-        self.version = version
+    def __init__(self, bbox_version: int):
+        self.bbox_version = bbox_version
         self.nx = self.ny = 0
         self.x0 = self.y0 = 0.0
         self.cw = self.ch = 1.0
@@ -109,9 +120,10 @@ class _RegionGrid:
 
     @staticmethod
     def build(
-        version: int, records: Sequence[Tuple[int, "IndexedConvoy"]]
+        bbox_version: int, records: Sequence[Tuple[int, "IndexedConvoy"]]
     ) -> "_RegionGrid":
-        grid = _RegionGrid(version)
+        _GRID_REBUILDS.inc()
+        grid = _RegionGrid(bbox_version)
         grid.bboxes = {
             cid: record.bbox
             for cid, record in records
@@ -181,7 +193,14 @@ class ConvoyIndex:
         self._by_end: List[Tuple[int, int]] = []  # (end, cid), end-sorted
         self._next_id = 0
         self.version = 0
+        # Bumped only by mutations touching a *bboxed* record, so the
+        # region grid can skip rebuilds for bbox-less writes.
+        self._bbox_version = 0
         self._region_grid: Optional[_RegionGrid] = None
+        # Mutation listeners (e.g. the analytics summary store); notified
+        # after each add/evict with the affected record.  Attached after
+        # construction, so _load() replays reach nobody.
+        self._listeners: List = []
         self._load()
 
     # -- persistence ---------------------------------------------------------
@@ -272,6 +291,12 @@ class ConvoyIndex:
         self._write(cid, convoy, bbox)
         self._install(cid, convoy, bbox)
         self.version += 1
+        if bbox is not None:
+            self._bbox_version += 1
+        if self._listeners:
+            record = self._records[cid]
+            for listener in tuple(self._listeners):
+                listener.on_add(record)
         return cid
 
     def add_all(
@@ -316,6 +341,10 @@ class ConvoyIndex:
                 if not ids:
                     del self._by_object[oid]
         self.version += 1
+        if record.bbox is not None:
+            self._bbox_version += 1
+        for listener in tuple(self._listeners):
+            listener.on_evict(record)
 
     def _install(self, cid: int, convoy: Convoy, bbox: Optional[BBox]) -> None:
         self._records[cid] = IndexedConvoy(cid, convoy, bbox)
@@ -336,6 +365,22 @@ class ConvoyIndex:
 
     def get(self, cid: int) -> Optional[IndexedConvoy]:
         return self._records.get(cid)
+
+    def records(self) -> List[IndexedConvoy]:
+        """A point-in-time snapshot of every stored record, cid-ordered."""
+        records = _retry_copy(lambda: list(self._records.values()))
+        records.sort(key=lambda record: record.convoy_id)
+        return records
+
+    def add_listener(self, listener) -> None:
+        """Subscribe to mutations: ``listener.on_add(record)`` after every
+        insert, ``listener.on_evict(record)`` after every eviction."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def convoys(self) -> List[Convoy]:
         """Every stored convoy (the maximal set), deterministically ordered."""
@@ -391,14 +436,16 @@ class ConvoyIndex:
         if not use_grid or len(self._records) < _GRID_MIN_RECORDS:
             return self._scan_region_linear(region)
         grid = self._region_grid
-        if grid is None or grid.version != self.version:
-            # Concurrent-reader safety: snapshot the version *before* the
-            # records (a racing write then only makes the grid look stale,
-            # never fresh), build a complete local grid, and publish it
-            # with a single store.  Readers holding the old grid keep
-            # answering from its own bbox snapshot.
-            version = self.version
-            grid = _RegionGrid.build(version, self._snapshot_records())
+        if grid is None or grid.bbox_version != self._bbox_version:
+            # Concurrent-reader safety: snapshot the bbox version *before*
+            # the records (a racing write then only makes the grid look
+            # stale, never fresh), build a complete local grid, and
+            # publish it with a single store.  Readers holding the old
+            # grid keep answering from its own bbox snapshot.  Writes
+            # that touch no bboxed record leave _bbox_version alone, so
+            # they no longer force an O(n) rebuild of an unchanged grid.
+            bbox_version = self._bbox_version
+            grid = _RegionGrid.build(bbox_version, self._snapshot_records())
             self._region_grid = grid
         return grid.query(region)
 

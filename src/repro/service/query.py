@@ -24,6 +24,7 @@ a ``perf_counter`` pair per query would be measurable.
 
 from __future__ import annotations
 
+import numbers
 import threading
 import time
 from collections import OrderedDict
@@ -74,6 +75,21 @@ def _collect_query(engine: "ConvoyQueryEngine"):
     ]
 
 
+def _canon(value):
+    """Canonical cache-key form of one numeric coordinate.
+
+    Equivalent queries must share one LRU entry regardless of how the
+    caller spelled the numbers: ``5`` vs ``5.0`` vs ``np.float64(5.0)``
+    (every numpy scalar included — their hashes match Python's, but a
+    mixed-type caller population still shouldn't rely on that).  Whole
+    floats collapse to int, everything else to a plain float.
+    """
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    value = float(value)
+    return int(value) if value.is_integer() else value
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -115,6 +131,7 @@ class ConvoyQueryEngine:
         """Maximal convoys whose lifespan overlaps ``[start, end]``."""
         if start > end:
             raise ValueError(f"empty query interval [{start}, {end}]")
+        start, end = _canon(start), _canon(end)
         return self._timed("time_range", lambda: self._cached(
             ("time", start, end),
             lambda: self._materialise(self._index.ids_overlapping(start, end)),
@@ -122,6 +139,7 @@ class ConvoyQueryEngine:
 
     def object_history(self, oid: int) -> List[Convoy]:
         """Every convoy the object has ever travelled in."""
+        oid = int(oid)
         return self._timed("object_history", lambda: self._cached(
             ("object", oid),
             lambda: self._materialise(self._index.ids_of_object(oid)),
@@ -140,9 +158,14 @@ class ConvoyQueryEngine:
         xmin, ymin, xmax, ymax = region
         if xmin > xmax or ymin > ymax:
             raise ValueError(f"degenerate region {region}")
+        # Normalised coercion: (0, 0, 10, 10) and (0.0, 0.0, 10.0, 10.0)
+        # must hit the same cache entry (and any numpy scalar flavour of
+        # either), so the key — and the computation — use one canonical
+        # tuple.
+        rect = tuple(_canon(v) for v in region)
         return self._timed("region", lambda: self._cached(
-            ("region", region),
-            lambda: self._materialise(self._index.ids_in_region(region)),
+            ("region", rect),
+            lambda: self._materialise(self._index.ids_in_region(rect)),
         ))
 
     def open_candidates(self, shard: Optional[int] = None) -> List[Convoy]:

@@ -1,0 +1,248 @@
+"""Property tests: every analytic equals brute-force recomputation.
+
+The analytics engine answers from incrementally maintained summary rows
+(`SummaryStore`); these tests pin it to oracles in
+:mod:`repro.analytics.brute` that recompute each answer from the raw
+index records every time.  Hypothesis drives the query-shape space
+(window geometry, ranges, metrics, k) over three served paper
+workloads: trucks, tdrive and brinkhoff.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.brute import (
+    brute_co_travel_components,
+    brute_co_travel_neighbors,
+    brute_co_travel_pairs,
+    brute_co_travel_weights,
+    brute_group_by_object,
+    brute_group_by_region,
+    brute_top_k,
+    brute_windowed,
+)
+from repro.analytics.engine import (
+    OBJECT_METRICS,
+    REGION_METRICS,
+    TOP_K_METRICS,
+)
+from repro.api import ConvoySession
+from repro.data import (
+    BrinkhoffConfig,
+    BrinkhoffGenerator,
+    TDriveConfig,
+    TrucksConfig,
+    generate_tdrive,
+    generate_trucks,
+)
+
+# (dataset builder, eps) per paper workload — small enough to serve in
+# a couple of seconds, dense enough to close convoys and force
+# update_maximal evictions during ingest.
+_WORKLOADS = {
+    "trucks": (
+        lambda: generate_trucks(
+            TrucksConfig(n_trucks=10, n_days=2, day_length=60, seed=7)
+        ),
+        40.0,
+    ),
+    "tdrive": (
+        lambda: generate_tdrive(
+            TDriveConfig(n_taxis=25, duration=50, seed=9)
+        ),
+        250.0,
+    ),
+    "brinkhoff": (
+        lambda: BrinkhoffGenerator(
+            BrinkhoffConfig(max_time=60, obj_begin=40, obj_per_time=2, seed=13)
+        ).generate(),
+        30.0,
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(_WORKLOADS))
+def served(request):
+    """(engine, records, cell_size) over one served paper workload."""
+    build, eps = _WORKLOADS[request.param]
+    dataset = build()
+    service = (
+        ConvoySession.from_dataset(dataset)
+        .params(m=3, k=10, eps=eps)
+        .serve()
+    )
+    engine = service.analytics()
+    records = service.index.records()
+    assert records, f"{request.param} workload must close convoys"
+    yield engine, records, engine.region_cell_size
+
+
+window_geometry = st.tuples(
+    st.integers(1, 40),                                 # width
+    st.one_of(st.none(), st.integers(1, 25)),           # step
+    st.integers(-20, 20),                               # origin
+)
+time_range = st.one_of(
+    st.none(), st.tuples(st.integers(-10, 80), st.integers(0, 60))
+)
+
+
+class TestWindowedEquivalence:
+    @given(geometry=window_geometry, bounds=time_range)
+    @settings(max_examples=40, deadline=None)
+    def test_windowed_matches_brute(self, served, geometry, bounds):
+        engine, records, _ = served
+        width, step, origin = geometry
+        start, end = bounds if bounds is not None else (None, None)
+        assert engine.windowed(
+            width, step=step, origin=origin, start=start, end=end
+        ) == brute_windowed(
+            records, width, step=step, origin=origin, start=start, end=end
+        )
+
+
+class TestTopKEquivalence:
+    @given(
+        k=st.integers(1, 8),
+        by=st.sampled_from(TOP_K_METRICS),
+        group=st.sampled_from(["none", "region"]),
+        geometry=st.one_of(st.none(), window_geometry),
+        bounds=time_range,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_matches_brute(self, served, k, by, group, geometry, bounds):
+        engine, records, cell_size = served
+        width, step, origin = geometry if geometry else (None, None, 0)
+        start, end = bounds if bounds is not None else (None, None)
+        assert engine.top_k(
+            k, by=by, group=group, width=width, step=step,
+            origin=origin, start=start, end=end,
+        ) == brute_top_k(
+            records, cell_size, k, by=by, group=group, width=width,
+            step=step, origin=origin, start=start, end=end,
+        )
+
+
+class TestGroupByEquivalence:
+    @given(
+        by=st.sampled_from(REGION_METRICS),
+        k=st.one_of(st.none(), st.integers(1, 6)),
+        bounds=time_range,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_region_matches_brute(self, served, by, k, bounds):
+        engine, records, cell_size = served
+        start, end = bounds if bounds is not None else (None, None)
+        assert engine.group_by_region(
+            by=by, k=k, start=start, end=end
+        ) == brute_group_by_region(
+            records, cell_size, by=by, k=k, start=start, end=end
+        )
+
+    @given(
+        by=st.sampled_from(OBJECT_METRICS),
+        k=st.one_of(st.none(), st.integers(1, 6)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_object_matches_brute(self, served, by, k):
+        engine, records, _ = served
+        assert engine.group_by_object(by=by, k=k) == \
+            brute_group_by_object(records, by=by, k=k)
+
+
+class TestCoTravelEquivalence:
+    def test_edge_weights_match_brute(self, served):
+        engine, records, _ = served
+        weights = brute_co_travel_weights(records)
+        assert engine.summary.graph.edge_count == len(weights)
+        for (a, b), w in weights.items():
+            assert engine.summary.graph.weight(a, b) == w
+
+    @given(k=st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_top_pairs_match_brute(self, served, k):
+        engine, records, _ = served
+        assert engine.co_travel_pairs(k) == brute_co_travel_pairs(records, k)
+
+    @given(k=st.one_of(st.none(), st.integers(1, 5)), pick=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbors_match_brute(self, served, k, pick):
+        engine, records, _ = served
+        oids = sorted({o for r in records for o in r.convoy.objects})
+        oid = oids[pick % len(oids)]
+        assert engine.co_travel_neighbors(oid, k) == \
+            brute_co_travel_neighbors(records, oid, k)
+
+    @given(min_weight=st.integers(1, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_components_match_brute(self, served, min_weight):
+        engine, records, _ = served
+        assert engine.co_travel_components(min_weight) == \
+            brute_co_travel_components(records, min_weight)
+
+
+class TestMaintenanceEquivalence:
+    """The summary is identical no matter when the listener attached."""
+
+    def test_incremental_equals_bootstrap_equals_brute(self):
+        build, eps = _WORKLOADS["brinkhoff"]
+        dataset = build()
+
+        # Engine A: attached before the first snapshot — sees every
+        # add/evict live, including update_maximal subsumption churn.
+        session = ConvoySession.from_dataset(dataset).params(m=3, k=10, eps=eps)
+        live_service = session.feed()
+        live = live_service.analytics(region_cell_size=16.0)
+        live_service.ingest.ingest(dataset)
+
+        # Engine B: bootstrapped from the finished index.
+        done_service = (
+            ConvoySession.from_dataset(dataset)
+            .params(m=3, k=10, eps=eps)
+            .serve()
+        )
+        done = done_service.analytics(region_cell_size=16.0)
+
+        records = done_service.index.records()
+        assert live_service.index.records() == records
+        assert records, "workload must close convoys"
+        assert live.summary.convoy_count == done.summary.convoy_count
+        assert live.summary.row_count == done.summary.row_count
+
+        assert live.windowed(10) == done.windowed(10) == \
+            brute_windowed(records, 10)
+        assert live.windowed(7, step=3, origin=2) == \
+            done.windowed(7, step=3, origin=2) == \
+            brute_windowed(records, 7, step=3, origin=2)
+        assert live.top_k(5, by="size", group="region", width=20) == \
+            done.top_k(5, by="size", group="region", width=20) == \
+            brute_top_k(records, 16.0, 5, by="size", group="region", width=20)
+        assert live.group_by_region() == done.group_by_region() == \
+            brute_group_by_region(records, 16.0)
+        assert live.group_by_object() == done.group_by_object() == \
+            brute_group_by_object(records)
+        assert live.co_travel_pairs(25) == done.co_travel_pairs(25) == \
+            brute_co_travel_pairs(records, 25)
+        assert live.co_travel_components(5) == done.co_travel_components(5) == \
+            brute_co_travel_components(records, 5)
+
+    def test_eviction_rewinds_summary_exactly(self):
+        """Discarding every record empties all summary structures."""
+        build, eps = _WORKLOADS["trucks"]
+        dataset = build()
+        service = (
+            ConvoySession.from_dataset(dataset)
+            .params(m=3, k=10, eps=eps)
+            .serve()
+        )
+        engine = service.analytics()
+        store = engine.summary
+        assert store.convoy_count == len(service.index.records())
+        for record in service.index.records():
+            store.discard(record.convoy_id)
+        assert store.convoy_count == 0
+        assert store.row_count == 0
+        assert store.objects == {}
+        assert store.graph.node_count == 0
+        assert store.graph.edge_count == 0

@@ -12,7 +12,8 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 @pytest.mark.parametrize(
     "script",
     ["quickstart.py", "carpool_detection.py", "storage_backends.py",
-     "convoy_service.py", "http_service.py", "metrics_dashboard.py"],
+     "convoy_service.py", "http_service.py", "metrics_dashboard.py",
+     "fleet_dashboard.py"],
 )
 def test_example_runs(script):
     result = subprocess.run(
