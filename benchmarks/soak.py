@@ -1,0 +1,372 @@
+"""Chaos soak: bounded-duration continuous operation under retention + crashes.
+
+Runs one durable, retention-bounded serving stack end to end for a fixed
+wall-clock budget:
+
+* a synthetic never-ending feed (rotating co-travel groups, so convoys
+  keep closing and retention always has work) pushed over HTTP by a
+  resilient :class:`~repro.api.ConvoyClient`,
+* a mixed read workload (time ranges, object histories, contains-all,
+  open candidates) interleaved with the writes,
+* periodic injected crashes: a crash point on the checkpoint path is
+  armed via :data:`repro.testing.FAULTS` and the server is brought down
+  mid-shutdown — leaving genuinely torn durable state — then recovered
+  from the store directory and rebound onto the same port while the
+  client rides the outage on retries,
+* retention churn throughout: the live index ages closed convoys into
+  cold flatfile segments, the WAL rotates and is truncated by byte- and
+  count-triggered checkpoints.
+
+The run journals a ``"soak"`` entry into ``BENCH_k2hop.json`` with the
+observed ceilings (live index rows, WAL bytes, RSS), query latency
+percentiles, crash/recovery cycle count and client-visible error count,
+and exits non-zero when a gate fails::
+
+    PYTHONPATH=src python benchmarks/soak.py --duration 30 --window 40 \
+        --crashes 2 --rows-bound 400 --no-journal          # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_journal import append_entry  # noqa: E402
+
+from repro.obs import METRICS, rss_bytes  # noqa: E402
+from repro.testing import FAULTS  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_k2hop.json",
+)
+
+#: Checkpoint-path crash points, rotated across injected crash cycles.
+#: The graceful stop's final checkpoint hits them deterministically, so
+#: every cycle leaves real torn state (a half-written checkpoint, or a
+#: checkpoint without its WAL truncate) for recovery to resolve.
+CRASH_POINTS = (
+    "service.checkpoint.before-wal-truncate",
+    "service.checkpoint.write",
+    "service.checkpoint.before-rename",
+)
+
+#: Shape of the synthetic feed: GROUPS co-travel groups of SIZE objects,
+#: re-drawn with fresh object ids every ROTATION ticks so the previous
+#: generation's convoys close (and later age out of the retention window).
+GROUPS = 4
+SIZE = 3
+ROTATION = 6
+EPS = 5.0
+
+
+def snapshot_at(tick: int):
+    """Deterministic snapshot for one tick of the endless feed."""
+    epoch = tick // ROTATION
+    oids: List[int] = []
+    xs: List[float] = []
+    ys: List[float] = []
+    for g in range(GROUPS):
+        for j in range(SIZE):
+            oids.append(epoch * GROUPS * SIZE + g * SIZE + j)
+            xs.append(g * 1000.0 + tick * 0.5 + j * (EPS / 4.0))
+            ys.append(g * 1000.0)
+    return oids, xs, ys
+
+
+def percentile(latencies: List[float], p: float) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=float, default=45.0,
+        help="wall-clock soak budget in seconds (default 45)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=40,
+        help="retention window in ticks (default 40)",
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=2,
+        help="injected crash/restart cycles to run (default 2)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="batches between durable checkpoints (default 16)",
+    )
+    parser.add_argument(
+        "--query-every", type=int, default=4,
+        help="fire one mixed query burst every N ticks (default 4)",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--out", default=DEFAULT_OUT, help="journal JSON path")
+    parser.add_argument(
+        "--no-journal", action="store_true", help="do not append to the journal"
+    )
+    parser.add_argument("--label", default=None)
+    parser.add_argument(
+        "--rows-bound", type=int, default=None,
+        help="fail when the live index row count ever exceeds this",
+    )
+    parser.add_argument(
+        "--max-wal-bytes", type=int, default=None,
+        help="fail when WAL disk usage ever exceeds this (default: "
+        "2x the journal's own byte budget)",
+    )
+    parser.add_argument(
+        "--max-client-errors", type=int, default=0,
+        help="client-visible error budget across the whole soak (default 0)",
+    )
+    parser.add_argument(
+        "--min-evictions", type=int, default=1,
+        help="fail unless retention evicted at least this many convoys",
+    )
+    parser.add_argument(
+        "--max-p95-ms", type=float, default=None,
+        help="fail above this client query p95 (milliseconds)",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    from repro.api import ConvoyClient, ConvoySession, RetryPolicy
+    from repro.server import serve_in_background
+
+    rng = random.Random(args.seed)
+    latencies: List[float] = []
+    errors = 0
+    crash_log: List[Dict] = []
+    max_rows = 0
+    max_wal = 0
+    max_rss = 0
+    wal_budget = 0
+
+    with tempfile.TemporaryDirectory(prefix="soak-") as scratch:
+        session = (
+            ConvoySession.blank()
+            .params(m=SIZE, k=3, eps=EPS)
+            .history(ROTATION + 2)
+            .store("lsm", os.path.join(scratch, "idx"))
+            .durable(checkpoint_every=args.checkpoint_every)
+            .retain(window=args.window)
+        )
+        handle = session.feed()
+        server = serve_in_background(handle)
+        host, port = server.host, server.port
+        client = ConvoyClient(
+            host, port, timeout=10.0,
+            retry=RetryPolicy(attempts=12, base_delay=0.05, max_delay=1.0),
+        )
+        box = {"server": server, "handle": handle, "recovered": 0}
+
+        def crash_and_recover(cycle: int) -> None:
+            """Kill the server mid-checkpoint, recover, rebind the port."""
+            point = CRASH_POINTS[cycle % len(CRASH_POINTS)]
+            t0 = time.perf_counter()
+            FAULTS.arm(point)
+            try:
+                # The graceful stop's final checkpoint hits the armed
+                # point inside the server thread; the thread dies there,
+                # leaving the durable state torn exactly as a kill would.
+                box["server"].stop()
+            finally:
+                fired = FAULTS.hits(point) > 0
+                FAULTS.disarm(point)
+            old = box["handle"]
+            # Abrupt teardown — no clean-close checkpoint, the next feed()
+            # must recover from the torn checkpoint + WAL suffix alone.
+            if old.ingest.journal is not None:
+                old.ingest.journal.close()
+            old.index.close()
+            resumed = session.feed()
+            box["recovered"] += resumed.stats.recovered_records
+            box["handle"] = resumed
+            box["server"] = serve_in_background(resumed, host=host, port=port)
+            crash_log.append({
+                "point": point,
+                "fired": fired,
+                "recovery_seconds": time.perf_counter() - t0,
+                "wal_records_replayed": resumed.stats.recovered_records,
+            })
+
+        crash_at = [
+            args.duration * (i + 1) / (args.crashes + 1)
+            for i in range(args.crashes)
+        ]
+        restarter = None
+        tick = 0
+        started = time.perf_counter()
+        print(
+            f"soaking for {args.duration:.0f}s: retention window "
+            f"{args.window} ticks, {args.crashes} injected crash(es) ...",
+            flush=True,
+        )
+        while time.perf_counter() - started < args.duration:
+            elapsed = time.perf_counter() - started
+            if crash_at and elapsed >= crash_at[0] and (
+                restarter is None or not restarter.is_alive()
+            ):
+                crash_at.pop(0)
+                restarter = threading.Thread(
+                    target=crash_and_recover,
+                    args=(len(crash_log),),
+                    name="soak-restarter",
+                )
+                restarter.start()
+            oids, xs, ys = snapshot_at(tick)
+            try:
+                client.observe(tick, oids, xs, ys)
+            except Exception as error:  # noqa: BLE001 — counted, not fatal
+                errors += 1
+                print(f"  client-visible error at tick {tick}: {error}",
+                      file=sys.stderr)
+            if tick % args.query_every == 0:
+                pool = snapshot_at(max(0, tick - rng.randrange(args.window)))[0]
+                burst = (
+                    lambda: client.query.time_range(
+                        max(0, tick - args.window // 2), tick),
+                    lambda: client.query.object_history(rng.choice(pool)),
+                    lambda: client.query.containing(tuple(pool[:2])),
+                    lambda: client.query.open_candidates(),
+                )
+                for run in burst:
+                    q0 = time.perf_counter()
+                    try:
+                        run()
+                    except Exception as error:  # noqa: BLE001
+                        errors += 1
+                        print(f"  client-visible error at tick {tick}: "
+                              f"{error}", file=sys.stderr)
+                    latencies.append(time.perf_counter() - q0)
+            if tick % 8 == 0:
+                try:
+                    stats = client.stats()
+                except Exception:  # noqa: BLE001 — mid-restart; skip sample
+                    stats = None
+                if stats is not None:
+                    max_rows = max(max_rows, stats["index"]["convoys"])
+                    durability = stats.get("durability") or {}
+                    max_wal = max(max_wal, durability.get("wal_bytes", 0))
+                    wal_budget = durability.get("wal_budget_bytes", wal_budget)
+                max_rss = max(max_rss, rss_bytes())
+            tick += 1
+        if restarter is not None:
+            restarter.join(timeout=30)
+        try:
+            client.finish()
+        except Exception as error:  # noqa: BLE001
+            errors += 1
+            print(f"  client-visible error at finish: {error}", file=sys.stderr)
+        final_stats = client.stats()
+        retries = client.retries_total
+        client.close()
+        box["server"].stop()
+        final = box["handle"]
+        index = final.index
+        live_rows = len(index)
+        evicted = index.evicted_total
+        cold = index.cold
+        cold_bytes = cold.bytes_total() if cold is not None else 0
+        cold_segments = cold.segment_count() if cold is not None else 0
+        final.close()
+
+    max_rows = max(max_rows, live_rows)
+    soak_seconds = time.perf_counter() - started
+    crashes_fired = sum(1 for c in crash_log if c["fired"])
+    p95_ms = percentile(latencies, 0.95) * 1e3
+    print(
+        f"  {tick} ticks in {soak_seconds:.1f}s  "
+        f"({tick / soak_seconds:.0f} ticks/s)   "
+        f"queries p50 {percentile(latencies, 0.50) * 1e3:.2f} ms  "
+        f"p95 {p95_ms:.2f} ms"
+    )
+    print(
+        f"  live rows: now {live_rows}, ceiling {max_rows}   "
+        f"evicted {evicted} -> {cold_segments} cold segment(s), "
+        f"{cold_bytes} bytes"
+    )
+    print(
+        f"  WAL ceiling {max_wal} bytes (budget {wal_budget})   "
+        f"RSS ceiling {max_rss / 1e6:.1f} MB"
+    )
+    print(
+        f"  crashes: {crashes_fired}/{len(crash_log)} cycle(s) fired, "
+        f"{box['recovered']} WAL record(s) replayed   "
+        f"client retries {retries}, errors {errors}"
+    )
+
+    entry = {
+        "kind": "soak",
+        "label": args.label,
+        "duration_seconds": soak_seconds,
+        "ticks": tick,
+        "ticks_per_second": tick / soak_seconds if soak_seconds else 0.0,
+        "retain_window": args.window,
+        "queries": len(latencies),
+        "query_p50_ms": percentile(latencies, 0.50) * 1e3,
+        "query_p95_ms": p95_ms,
+        "rows_now": live_rows,
+        "rows_ceiling": max_rows,
+        "evicted_total": evicted,
+        "cold_segments": cold_segments,
+        "cold_bytes": cold_bytes,
+        "wal_bytes_ceiling": max_wal,
+        "wal_budget_bytes": wal_budget,
+        "rss_bytes_ceiling": max_rss,
+        "crash_cycles": crash_log,
+        "wal_records_replayed": box["recovered"],
+        "client_retries": retries,
+        "client_errors": errors,
+        "server_shed": final_stats.get("shed", 0),
+        "health_transitions": final_stats.get("health_transitions", 0),
+        "metrics": METRICS.snapshot(),
+    }
+    if not args.no_journal:
+        journal = append_entry(args.out, entry)
+        print(f"appended soak entry {len(journal['entries'])} to {args.out}")
+
+    failures = []
+    if errors > args.max_client_errors:
+        failures.append(
+            f"{errors} client-visible error(s) > budget "
+            f"{args.max_client_errors}"
+        )
+    if crashes_fired < args.crashes:
+        failures.append(
+            f"only {crashes_fired}/{args.crashes} injected crash(es) fired"
+        )
+    if args.rows_bound is not None and max_rows > args.rows_bound:
+        failures.append(
+            f"live index rows peaked at {max_rows} > bound {args.rows_bound}"
+        )
+    wal_bound = args.max_wal_bytes
+    if wal_bound is None and wal_budget:
+        wal_bound = 2 * wal_budget
+    if wal_bound is not None and max_wal > wal_bound:
+        failures.append(f"WAL peaked at {max_wal} bytes > bound {wal_bound}")
+    if evicted < args.min_evictions:
+        failures.append(
+            f"retention evicted {evicted} convoy(s) < {args.min_evictions}; "
+            "the soak never exercised eviction"
+        )
+    if args.max_p95_ms is not None and p95_ms > args.max_p95_ms:
+        failures.append(f"query p95 {p95_ms:.2f}ms > {args.max_p95_ms}ms")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

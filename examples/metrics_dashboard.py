@@ -43,6 +43,7 @@ def render(client: ConvoyClient) -> None:
     stats = client.stats()
     metrics = stats.get("metrics", {})
     counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
     histograms = metrics.get("histograms", {})
 
     print("=" * 72)
@@ -86,6 +87,26 @@ def render(client: ConvoyClient) -> None:
         print("\n-- storage I/O " + "-" * 57)
         for name, value in storage.items():
             print(f"  {name:<52s} {value:>14.0f}")
+
+    index = stats.get("index", {})
+    durability = stats.get("durability") or {}
+    print("\n-- retention & health " + "-" * 50)
+    print(f"  health {stats.get('health', 'healthy'):<10s}"
+          f"  transitions {stats.get('health_transitions', 0):>4}"
+          f"  shed 503s {stats.get('shed', 0):>6}")
+    print(f"  live rows {gauges.get('repro_index_live_rows', index.get('convoys', 0)):>10.0f}"
+          f"    evicted {index.get('evicted', 0):>8}"
+          f"    backlog {index.get('retention_backlog', 0) or 0:>6}")
+    cold_bytes = gauges.get("repro_cold_segment_bytes", 0.0)
+    cold_segs = gauges.get("repro_cold_segments", 0.0)
+    if cold_segs:
+        print(f"  cold segments {cold_segs:>6.0f}"
+              f"    cold bytes {cold_bytes:>12.0f}")
+    if durability:
+        print(f"  wal bytes {durability.get('wal_bytes', 0):>10}"
+              f"    budget {durability.get('wal_budget_bytes') or '-':>10}"
+              f"    last checkpoint: "
+              f"{durability.get('last_checkpoint_trigger') or 'none'}")
 
     traces = stats.get("traces", {})
     slow = traces.get("slow", [])
@@ -136,15 +157,18 @@ def main() -> None:
             render(client)
         return
 
-    dataset = generate_brinkhoff(max_time=60, obj_begin=40, obj_per_time=2,
+    dataset = generate_brinkhoff(max_time=60, obj_begin=60, obj_per_time=2,
                                  seed=7)
     with tempfile.TemporaryDirectory(prefix="metrics-dashboard-") as scratch:
-        # An LSM-backed index so the storage-I/O panel has numbers too.
+        # An LSM-backed, durable, retained index so the storage-I/O and
+        # retention/health panels have numbers too.
         session = (
             ConvoySession.from_dataset(dataset)
-            .params(m=3, k=20, eps=30.0)
+            .params(m=3, k=4, eps=60.0)
             .shards("2x2")
             .store("lsm", os.path.join(scratch, "idx"))
+            .durable(checkpoint_every=32)
+            .retain(window=20)
         )
         service = session.feed()
         print("booting a demo server and replaying a Brinkhoff feed ...")

@@ -51,6 +51,7 @@ from .registry import (
 )
 from .schema import PARAM_TYPES, Param, ParamSchema, SchemaError, schema_of
 from .session import DEFAULT_ALGORITHM, ConvoyService, ConvoySession
+from ..service.retention import RetentionPolicy
 
 from . import miners as _miners  # noqa: F401  (populates the registry)
 
@@ -88,6 +89,7 @@ __all__ = [
     "ParamSchema",
     "RESULT_STORE_KINDS",
     "RegisteredMiner",
+    "RetentionPolicy",
     "RetryPolicy",
     "SOURCE_STORE_KINDS",
     "SchemaError",

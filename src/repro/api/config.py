@@ -125,6 +125,13 @@ class ServeSpec:
     state every ``checkpoint_every`` batches into the persistent store
     directory, so a killed process resumes mid-feed; it requires a
     persistent result store.
+
+    ``retain_window`` / ``retain_max_rows`` bound the live convoy index
+    for continuous operation: closed convoys ending more than
+    ``retain_window`` ticks behind the feed frontier (or beyond the
+    ``retain_max_rows`` cap, oldest first) age out of the index — into
+    flatfile cold segments when the store is persistent, so
+    ``include_cold=True`` queries still reach them.
     """
 
     nx: int = 1
@@ -133,6 +140,8 @@ class ServeSpec:
     workers: int = 0
     durable: bool = False
     checkpoint_every: int = 64
+    retain_window: Optional[int] = None
+    retain_max_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nx < 1 or self.ny < 1:
@@ -142,6 +151,14 @@ class ServeSpec:
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.retain_window is not None and self.retain_window < 1:
+            raise ValueError(
+                f"retain_window must be >= 1, got {self.retain_window}"
+            )
+        if self.retain_max_rows is not None and self.retain_max_rows < 1:
+            raise ValueError(
+                f"retain_max_rows must be >= 1, got {self.retain_max_rows}"
             )
         if isinstance(self.history, str):
             if self.history != "full":

@@ -29,6 +29,7 @@ output is normalised into the shared :class:`~repro.core.types.Convoy` /
 from __future__ import annotations
 
 import dataclasses
+import os
 import tempfile
 import threading
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
@@ -227,6 +228,14 @@ class ConvoySession:
         from ..service.catalog import open_index
 
         index, params = open_index(index_dir)
+        from ..service.retention import COLD_DIR, ColdSegmentReader
+
+        cold_dir = os.path.join(index_dir, COLD_DIR)
+        if os.path.isdir(cold_dir):
+            # The index was fed under a retention policy: attach a reader
+            # over its cold archive so include_cold= queries keep working
+            # in query-only mode (no policy — nothing evicts here).
+            index.set_retention(None, cold=ColdSegmentReader(cold_dir))
         return ConvoyService(index, params, ingest=None, persisted_to=index_dir)
 
     # -- fluent configuration ------------------------------------------------
@@ -316,6 +325,31 @@ class ConvoySession:
             )
         )
 
+    def retain(
+        self,
+        window: Optional[int] = None,
+        max_rows: Optional[int] = None,
+    ) -> "ConvoySession":
+        """Bound the live index for continuous operation.
+
+        ``window`` evicts closed convoys ending more than that many ticks
+        behind the feed frontier; ``max_rows`` caps the live row count,
+        evicting oldest-ending first.  At least one must be given.  With a
+        persistent ``.store(...)``, evicted convoys are archived into cold
+        flatfile segments under the store directory and stay reachable
+        through ``include_cold=True`` queries; on a memory store they are
+        simply dropped.
+        """
+        if window is None and max_rows is None:
+            raise ValueError("retain() needs a window and/or max_rows")
+        return self._replace(
+            serve=dataclasses.replace(
+                self.config.serve,
+                retain_window=window,
+                retain_max_rows=max_rows,
+            )
+        )
+
     # -- the three run modes -------------------------------------------------
 
     def mine(self) -> SessionResult:
@@ -390,6 +424,25 @@ class ConvoySession:
             info = dataset.info()
             duration = info.duration
         index, persisted_to = self._open_index(params.query)
+        if serve.retain_window is not None or serve.retain_max_rows is not None:
+            from ..service.retention import (
+                COLD_DIR,
+                ColdSegmentStore,
+                RetentionPolicy,
+            )
+
+            cold = (
+                ColdSegmentStore(os.path.join(persisted_to, COLD_DIR))
+                if persisted_to is not None
+                else None
+            )
+            index.set_retention(
+                RetentionPolicy(
+                    window=serve.retain_window,
+                    max_rows=serve.retain_max_rows,
+                ),
+                cold=cold,
+            )
         history = serve.resolve_history(duration)
         if serve.durable:
             from ..service.durability import ServiceJournal, has_durable_state

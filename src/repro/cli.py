@@ -164,6 +164,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="batches between durable checkpoints (default 64)",
     )
+    serve.add_argument(
+        "--retain-window",
+        type=int,
+        metavar="TICKS",
+        help="age convoys ending more than TICKS behind the feed frontier "
+        "out of the live index (into cold segments with --index-dir)",
+    )
+    serve.add_argument(
+        "--retain-max-rows",
+        type=int,
+        metavar="N",
+        help="cap the live index at N convoys, evicting oldest-ending first",
+    )
 
     stats = commands.add_parser(
         "stats", help="pretty-print a live server's metrics snapshot"
@@ -428,6 +441,10 @@ def _serve(args: argparse.Namespace) -> int:
             session = session.store(backend, args.index_dir)
         if args.durable:
             session = session.durable(args.checkpoint_every)
+        if args.retain_window is not None or args.retain_max_rows is not None:
+            session = session.retain(
+                window=args.retain_window, max_rows=args.retain_max_rows
+            )
         handle = session.serve() if dataset is not None else session.feed()
     except ValueError as error:  # bad shard spec / history / index reopen
         print(str(error), file=sys.stderr)

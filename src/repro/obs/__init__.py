@@ -25,6 +25,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .proc import rss_bytes
 from .tracing import TRACE_HEADER, Tracer, current_trace_id, new_trace_id
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "Tracer",
     "current_trace_id",
     "new_trace_id",
+    "rss_bytes",
     "set_enabled",
 ]
 

@@ -521,7 +521,7 @@ class MetricsRegistry:
                         "pages_read", "pages_written", "bytes_read",
                         "bytes_written", "seeks", "range_scans",
                         "point_queries", "full_scans", "buffer_hits",
-                        "buffer_misses",
+                        "buffer_misses", "compaction_drops",
                     )
                 ]
 

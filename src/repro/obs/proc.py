@@ -1,0 +1,20 @@
+"""Process-level resource probes (no psutil dependency).
+
+Used by the server's health states and the soak harness to watch
+resident memory on platforms exposing ``/proc``; elsewhere the probes
+degrade to 0 rather than fail.
+"""
+
+from __future__ import annotations
+
+
+def rss_bytes() -> int:
+    """Resident set size of this process in bytes (0 if unknown)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0

@@ -89,7 +89,7 @@ from ..api.registry import get_miner, list_miners
 from ..api.schema import SchemaError
 from ..core.params import ConvoyQuery
 from ..data.dataset import Dataset
-from ..obs import METRICS, TRACE_HEADER, TRACER, new_trace_id
+from ..obs import METRICS, TRACE_HEADER, TRACER, new_trace_id, rss_bytes
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -112,6 +112,10 @@ _REQUESTS = METRICS.counter(
 )
 
 
+#: Health states in escalation order; the gauge exports the position.
+HEALTH_STATES = ("healthy", "degraded", "draining")
+
+
 def _collect_server(server: "ConvoyServer"):
     stats = server.stats
     help_ = "Server-side request counters."
@@ -119,21 +123,36 @@ def _collect_server(server: "ConvoyServer"):
         ("repro_server_%s_total" % name, "counter", help_, (),
          float(getattr(stats, name)))
         for name in ("errors", "reads", "writes", "mines", "rejected",
-                     "timeouts")
+                     "timeouts", "shed")
     ]
     samples.append((
         "repro_server_pending_writes", "gauge",
         "Mutations waiting in the single-writer queue.", (),
         float(server._write_queue.qsize()),
     ))
+    samples.append((
+        "repro_health_state", "gauge",
+        "Serving health: 0 healthy, 1 degraded, 2 draining.", (),
+        float(HEALTH_STATES.index(server.health_state())),
+    ))
+    samples.append((
+        "repro_health_transitions_total", "counter",
+        "Health-state changes observed since the server started.", (),
+        float(server._health_transitions),
+    ))
     return samples
 
 
 class _Overloaded(Exception):
-    """Raised when the bounded writer queue rejects a new mutation."""
+    """Raised to answer 503 + ``Retry-After``: full writer queue, a
+    draining shutdown, or degraded-mode load shedding."""
 
-    def __init__(self, retry_after: float = 1.0):
-        super().__init__("write queue is full; retry later")
+    def __init__(
+        self,
+        retry_after: float = 1.0,
+        message: str = "write queue is full; retry later",
+    ):
+        super().__init__(message)
         self.retry_after = retry_after
 
 
@@ -148,6 +167,7 @@ class ServerStats:
     mines: int = 0
     rejected: int = 0  # 503s from writer-queue backpressure
     timeouts: int = 0  # 504s from the per-request deadline
+    shed: int = 0  # 503s from degraded-mode load shedding
     by_route: Dict[str, int] = field(default_factory=dict)
     started_at: float = field(default_factory=time.time)
 
@@ -214,6 +234,17 @@ class ConvoyServer:
     request_timeout:
         Per-request deadline in seconds; a handler that exceeds it
         answers 504 (``None`` disables the deadline).
+    degrade_pending_ratio:
+        Writer-queue fill fraction at which the server turns *degraded*
+        and starts shedding expensive read families (analytics, region
+        scans) with 503 + ``Retry-After`` — protecting the write path
+        before the queue itself overflows.
+    degrade_backlog:
+        Retention backlog (rows eligible for eviction but still live)
+        at which the server degrades.
+    degrade_rss_bytes:
+        Resident-memory watermark in bytes; ``None`` (default) leaves
+        memory out of the health calculation.
     """
 
     def __init__(
@@ -223,14 +254,28 @@ class ConvoyServer:
         *,
         max_pending_writes: int = 256,
         request_timeout: Optional[float] = 30.0,
+        degrade_pending_ratio: float = 0.8,
+        degrade_backlog: int = 4096,
+        degrade_rss_bytes: Optional[int] = None,
     ):
         if max_pending_writes < 1:
             raise ValueError(
                 f"max_pending_writes must be >= 1, got {max_pending_writes}"
             )
+        if not 0.0 < degrade_pending_ratio <= 1.0:
+            raise ValueError(
+                f"degrade_pending_ratio must be in (0, 1], "
+                f"got {degrade_pending_ratio}"
+            )
         self.service = service
         self.stats = ServerStats()
         self.request_timeout = request_timeout
+        self.max_pending_writes = max_pending_writes
+        self.degrade_pending_ratio = degrade_pending_ratio
+        self.degrade_backlog = degrade_backlog
+        self.degrade_rss_bytes = degrade_rss_bytes
+        self._health = "healthy"
+        self._health_transitions = 0
         self._points = _PointLog(dataset)
         self._write_queue: "asyncio.Queue[Tuple[Callable[[], Any], asyncio.Future]]" = (
             asyncio.Queue(maxsize=max_pending_writes)
@@ -466,12 +511,73 @@ class ConvoyServer:
             None, lambda: context.run(fn)
         )
 
+    # -- health states ---------------------------------------------------------
+
+    def health_state(self) -> str:
+        """Recompute and return the serving health state.
+
+        ``draining`` while a graceful stop is in flight; ``degraded``
+        when the writer queue, the retention backlog or (when a
+        watermark is set) resident memory crosses its threshold;
+        ``healthy`` otherwise.  Transitions are counted for the
+        ``repro_health_transitions_total`` metric.
+        """
+        state = "healthy"
+        if self._stopping:
+            state = "draining"
+        elif self._health_pressures():
+            state = "degraded"
+        if state != self._health:
+            self._health_transitions += 1
+            self._health = state
+        return state
+
+    def _health_pressures(self) -> Dict[str, float]:
+        """Which degradation thresholds are currently exceeded, and by what."""
+        pressures: Dict[str, float] = {}
+        pending = self._write_queue.qsize()
+        if pending >= self.max_pending_writes * self.degrade_pending_ratio:
+            pressures["pending_writes"] = float(pending)
+        backlog = self._retention_backlog()
+        if backlog > self.degrade_backlog:
+            pressures["retention_backlog"] = float(backlog)
+        if self.degrade_rss_bytes is not None:
+            rss = rss_bytes()
+            if rss > self.degrade_rss_bytes:
+                pressures["rss_bytes"] = float(rss)
+        return pressures
+
+    def _retention_backlog(self) -> int:
+        backlog = getattr(self.service.index, "retention_backlog", None)
+        return backlog() if backlog is not None else 0
+
+    def _shed_if_degraded(self) -> None:
+        """Reject an expensive read while the server is under pressure.
+
+        Only the costly families call this (analytics, region scans):
+        cheap point/time reads and — crucially — the write path keep
+        working through a degraded phase, so ingest catches up instead
+        of being starved behind heavy queries.
+        """
+        if self.health_state() == "degraded":
+            self.stats.shed += 1
+            raise _Overloaded(
+                retry_after=2.0,
+                message="server degraded; expensive queries are shed, "
+                        "retry later",
+            )
+
     # -- handlers --------------------------------------------------------------
 
     async def _get_healthz(self, request: Request) -> Tuple[int, Any]:
         index = self.service.index
+        health = self.health_state()
         return 200, {
-            "status": "ok",
+            "status": "ok" if health == "healthy" else health,
+            "health": health,
+            "pressures": self._health_pressures(),
+            "pending_writes": self._write_queue.qsize(),
+            "retention_backlog": self._retention_backlog(),
             "protocol": PROTOCOL_VERSION,
             "convoys": len(index),
             "index_version": index.version,
@@ -491,6 +597,9 @@ class ConvoyServer:
             "mines": self.stats.mines,
             "rejected": self.stats.rejected,
             "timeouts": self.stats.timeouts,
+            "shed": self.stats.shed,
+            "health": self.health_state(),
+            "health_transitions": self._health_transitions,
             "pending_writes": self._write_queue.qsize(),
             "by_route": self.stats.by_route,
             "cache": {
@@ -502,6 +611,8 @@ class ConvoyServer:
             "index": {
                 "convoys": len(self.service.index),
                 "version": self.service.index.version,
+                "evicted": getattr(self.service.index, "evicted_total", 0),
+                "retention_backlog": self._retention_backlog(),
             },
             "ingest": None if ingest is None else {
                 "ticks": ingest.ticks,
@@ -531,10 +642,15 @@ class ConvoyServer:
         ingest_service = self.service.ingest
         if ingest_service is None or ingest_service.journal is None:
             return None
+        journal = ingest_service.journal
         return {
             "checkpoints": ingest_service.stats.checkpoints,
             "recovered_records": ingest_service.stats.recovered_records,
             "applied_seq": ingest_service.applied_seq,
+            "last_checkpoint_trigger": journal.last_checkpoint_trigger,
+            "wal_bytes": journal.wal.bytes_total(),
+            "wal_budget_bytes": journal.wal_budget_bytes,
+            "records_since_checkpoint": journal.records_since_checkpoint,
         }
 
     async def _get_algorithms(self, request: Request) -> Tuple[int, Any]:
@@ -578,6 +694,7 @@ class ConvoyServer:
                 oids = _parse_int_list(raw, "containing")
                 fn = lambda: engine.containing(oids)  # noqa: E731
             elif selector == "region":
+                self._shed_if_degraded()
                 rect = _parse_region(raw)
                 fn = lambda: engine.region(rect)  # noqa: E731
             else:  # open
@@ -676,6 +793,7 @@ class ConvoyServer:
     # -- analytics handlers ----------------------------------------------------
 
     async def _get_analytics_windows(self, request: Request) -> Tuple[int, Any]:
+        self._shed_if_degraded()
         self.stats.reads += 1
         values = validated(WINDOWS_SCHEMA, request.query)
         width = require(values, "width", WINDOWS_SCHEMA)
@@ -694,6 +812,7 @@ class ConvoyServer:
         }
 
     async def _get_analytics_topk(self, request: Request) -> Tuple[int, Any]:
+        self._shed_if_degraded()
         self.stats.reads += 1
         values = validated(TOPK_SCHEMA, request.query)
         # "none" arrives as the schema's null sentinel; restore it.
@@ -713,6 +832,7 @@ class ConvoyServer:
         }
 
     async def _get_analytics_regions(self, request: Request) -> Tuple[int, Any]:
+        self._shed_if_degraded()
         self.stats.reads += 1
         values = validated(REGIONS_SCHEMA, request.query)
         analytics = self.service.analytics()
@@ -730,6 +850,7 @@ class ConvoyServer:
         }
 
     async def _get_analytics_objects(self, request: Request) -> Tuple[int, Any]:
+        self._shed_if_degraded()
         self.stats.reads += 1
         values = validated(OBJECTS_SCHEMA, request.query)
         rows = await self._in_reader(
@@ -743,6 +864,7 @@ class ConvoyServer:
         }
 
     async def _get_analytics_cotravel(self, request: Request) -> Tuple[int, Any]:
+        self._shed_if_degraded()
         self.stats.reads += 1
         values = validated(COTRAVEL_SCHEMA, request.query)
         analytics = self.service.analytics()
@@ -779,6 +901,7 @@ class ConvoyServer:
         }
 
     async def _get_analytics_lineage(self, request: Request) -> Tuple[int, Any]:
+        self._shed_if_degraded()
         self.stats.reads += 1
         values = validated(LINEAGE_SCHEMA, request.query)
         cid = require(values, "convoy", LINEAGE_SCHEMA)

@@ -104,6 +104,10 @@ class LSMResultBackend:
         self._tree = LSMTree(directory, **lsm_options)
         self.stats = self._tree.stats
 
+    def set_drop_predicate(self, drop) -> None:
+        """Retention hook: compactions discard keys ``drop`` matches."""
+        self._tree.set_drop_predicate(drop)
+
     def put(self, key: bytes, value: bytes) -> None:
         self._tree.put(key, value)
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import logging
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
@@ -263,18 +264,53 @@ def decode_checkpoint(payload: bytes) -> CheckpointState:
 # -- the feed WAL -------------------------------------------------------------
 
 
+def _wal_segments(path: str) -> list:
+    """Sealed (rotated) WAL segment paths for ``path``, oldest first."""
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path) + "."
+    if not os.path.isdir(directory):
+        return []
+    names = [
+        name
+        for name in os.listdir(directory)
+        if name.startswith(base) and name[len(base):].isdigit()
+    ]
+    return [os.path.join(directory, name) for name in sorted(names)]
+
+
 class FeedWAL:
     """CRC32-framed append-only journal of feed events.
 
     Frame: ``[u32 crc][u32 len][payload]`` with the checksum over the
     payload, so a torn or bit-flipped tail is detected on replay and the
     log recovers to the last good record.
+
+    With ``segment_bytes`` set, the log rotates: once the active file
+    (``feed.wal``) exceeds the limit it is atomically renamed to
+    ``feed.wal.NNNNNN`` and a fresh active file starts.  Replay walks
+    the rotated segments in order, then the active file; truncation
+    (after a covering checkpoint) removes the whole chain.  Rotation
+    keeps any single append cheap and lets the checkpoint byte budget
+    bound total WAL disk between checkpoints.
     """
 
-    def __init__(self, path: str, fsync: bool = False):
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        segment_bytes: Optional[int] = None,
+    ):
+        if segment_bytes is not None and segment_bytes < _FRAME.size:
+            raise ValueError(f"segment_bytes too small: {segment_bytes}")
         self.path = path
         self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        rotated = _wal_segments(path)
+        self._rotate_seq = (
+            int(rotated[-1].rsplit(".", 1)[1]) + 1 if rotated else 0
+        )
         self._file = open(path, "ab")
+        self._active_bytes = self._file.tell()
 
     def append_snapshot(
         self,
@@ -312,6 +348,27 @@ class FeedWAL:
                 _WAL_FSYNCS.inc()
         _WAL_APPENDS.inc()
         _WAL_BYTES.inc(len(frame))
+        self._active_bytes += len(frame)
+        if (
+            self.segment_bytes is not None
+            and self._active_bytes >= self.segment_bytes
+        ):
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Seal the active file as a numbered segment, start a fresh one.
+
+        Crash-safe at every boundary: before the rename the oversized
+        active file simply rotates on the next append after reopen;
+        after it, the reopened WAL starts a new (empty) active file and
+        replay finds the sealed segment by name.
+        """
+        self._file.close()
+        FAULTS.crash_point("service.wal.rotate")
+        os.replace(self.path, f"{self.path}.{self._rotate_seq:06d}")
+        self._rotate_seq += 1
+        self._file = open(self.path, "ab")
+        self._active_bytes = 0
 
     def sync(self) -> None:
         self._file.flush()
@@ -321,16 +378,44 @@ class FeedWAL:
     def truncate(self) -> None:
         """Discard the log (its contents are covered by a checkpoint)."""
         self._file.close()
+        for segment in _wal_segments(self.path):
+            os.remove(segment)
         self._file = open(self.path, "wb")
+        self._active_bytes = 0
+
+    def bytes_total(self) -> int:
+        """On-disk WAL bytes: sealed segments plus the active file."""
+        total = self._active_bytes
+        for segment in _wal_segments(self.path):
+            try:
+                total += os.path.getsize(segment)
+            except OSError:
+                pass
+        return total
 
     def close(self) -> None:
         self._file.close()
 
     @staticmethod
     def replay(path: str) -> Iterator[WalRecord]:
-        """Yield verified records in append order; stop at a bad tail."""
+        """Yield verified records in append order; stop at a bad tail.
+
+        Walks sealed segments oldest-first, then the active file.  A
+        torn or corrupt record anywhere ends the replay — records after
+        it (even in later segments) are beyond the consistent prefix.
+        """
+        for segment in _wal_segments(path) + [path]:
+            records: list = []
+            clean = FeedWAL._replay_file(segment, records)
+            yield from records
+            if not clean:
+                return
+
+    @staticmethod
+    def _replay_file(path: str, out: list) -> bool:
+        """Scan one file into ``out``; False when it ended at a bad tail."""
         if not os.path.exists(path):
-            return
+            return True
         with open(path, "rb") as handle:
             data = handle.read()
         offset = 0
@@ -343,7 +428,7 @@ class FeedWAL:
                     "feed WAL %s: torn record at offset %d (%d bytes dropped)",
                     path, offset, len(data) - offset,
                 )
-                return
+                return False
             payload = data[start:end]
             if zlib.crc32(payload) != crc:
                 logger.warning(
@@ -351,14 +436,16 @@ class FeedWAL:
                     "(%d bytes dropped); recovered to last good record",
                     path, offset, len(data) - offset,
                 )
-                return
-            yield FeedWAL._decode(payload)
+                return False
+            out.append(FeedWAL._decode(payload))
             offset = end
         if offset != len(data):
             logger.warning(
                 "feed WAL %s: torn frame header at offset %d (%d bytes dropped)",
                 path, offset, len(data) - offset,
             )
+            return False
+        return True
 
     @staticmethod
     def _decode(payload: bytes) -> WalRecord:
@@ -395,20 +482,55 @@ class ServiceJournal:
     fsync:
         ``True`` additionally fsyncs every WAL append (survives machine
         loss, not just process loss).  Checkpoints always fsync.
+    wal_budget_bytes:
+        Auto-checkpoint as soon as the WAL (all segments) exceeds this
+        many bytes, independent of the record count — so disk usage
+        between checkpoints stays bounded even when batches are huge.
+        ``None`` disables the byte trigger.
+    max_checkpoint_age:
+        Auto-checkpoint once this many seconds have passed since the
+        last one (only if the WAL holds new records).  ``None`` disables
+        the age trigger.
+    wal_segment_bytes:
+        Rotation size for the feed WAL; defaults to a quarter of the
+        byte budget (when one is set) so a budget-triggered checkpoint
+        covers a handful of sealed segments rather than one huge file.
     """
 
     def __init__(
-        self, directory: str, checkpoint_every: int = 64, fsync: bool = False
+        self,
+        directory: str,
+        checkpoint_every: int = 64,
+        fsync: bool = False,
+        wal_budget_bytes: Optional[int] = 4 << 20,
+        max_checkpoint_age: Optional[float] = None,
+        wal_segment_bytes: Optional[int] = None,
     ):
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if wal_budget_bytes is not None and wal_budget_bytes < 1:
+            raise ValueError(
+                f"wal_budget_bytes must be >= 1, got {wal_budget_bytes}"
+            )
+        if max_checkpoint_age is not None and max_checkpoint_age <= 0:
+            raise ValueError(
+                f"max_checkpoint_age must be > 0, got {max_checkpoint_age}"
+            )
         self.directory = directory
         self.checkpoint_every = checkpoint_every
+        self.wal_budget_bytes = wal_budget_bytes
+        self.max_checkpoint_age = max_checkpoint_age
+        if wal_segment_bytes is None and wal_budget_bytes is not None:
+            wal_segment_bytes = max(64 * 1024, wal_budget_bytes // 4)
         os.makedirs(directory, exist_ok=True)
-        self.wal = FeedWAL(self.wal_path, fsync=fsync)
+        self.wal = FeedWAL(
+            self.wal_path, fsync=fsync, segment_bytes=wal_segment_bytes
+        )
         self.records_since_checkpoint = 0
+        self.last_checkpoint_trigger: Optional[str] = None
+        self._last_checkpoint_time = time.monotonic()
 
     @property
     def wal_path(self) -> str:
@@ -436,12 +558,36 @@ class ServiceJournal:
         self.wal.append_finish(src, seq)
         self.records_since_checkpoint += 1
 
-    def should_checkpoint(self) -> bool:
-        return self.records_since_checkpoint >= self.checkpoint_every
+    def should_checkpoint(self) -> Optional[str]:
+        """The reason a checkpoint is due now, or ``None`` (truthy/falsy).
+
+        Reasons: ``"count"`` (records since the last checkpoint reached
+        ``checkpoint_every``), ``"bytes"`` (WAL grew past
+        ``wal_budget_bytes``), ``"age"`` (``max_checkpoint_age`` seconds
+        elapsed with records pending).
+        """
+        if self.records_since_checkpoint >= self.checkpoint_every:
+            return "count"
+        if self.records_since_checkpoint == 0:
+            return None
+        if (
+            self.wal_budget_bytes is not None
+            and self.wal.bytes_total() >= self.wal_budget_bytes
+        ):
+            return "bytes"
+        if (
+            self.max_checkpoint_age is not None
+            and time.monotonic() - self._last_checkpoint_time
+            >= self.max_checkpoint_age
+        ):
+            return "age"
+        return None
 
     # -- checkpointing --------------------------------------------------------
 
-    def write_checkpoint(self, state: CheckpointState) -> None:
+    def write_checkpoint(
+        self, state: CheckpointState, trigger: str = "manual"
+    ) -> None:
         """Atomically persist ``state``, then truncate the covered WAL.
 
         Write order is the recovery contract: temp file + fsync, rename
@@ -468,6 +614,8 @@ class ServiceJournal:
             FAULTS.crash_point("service.checkpoint.before-wal-truncate")
             self.wal.truncate()
             self.records_since_checkpoint = 0
+            self.last_checkpoint_trigger = trigger
+            self._last_checkpoint_time = time.monotonic()
         _CHECKPOINT_BYTES.inc(len(blob))
 
     def load_checkpoint(self) -> Optional[CheckpointState]:
@@ -515,7 +663,9 @@ class ServiceJournal:
 
 def has_durable_state(directory: str) -> bool:
     """True when ``directory`` holds feed-WAL or checkpoint state to resume."""
+    wal_path = os.path.join(directory, WAL_FILE)
     return (
         os.path.exists(os.path.join(directory, CHECKPOINT_FILE))
-        or os.path.exists(os.path.join(directory, WAL_FILE))
+        or os.path.exists(wal_path)
+        or bool(_wal_segments(wal_path))
     )

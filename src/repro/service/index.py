@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.bitset import ObjectInterner, ObjectMask
 from ..core.types import Convoy, sort_convoys
 from ..obs import METRICS
+from ..testing.faults import FAULTS
 from .backends import MemoryResultBackend, ResultBackend
 from .records import (
     FIELD_LIMIT,
@@ -45,6 +46,7 @@ from .records import (
     tag_range,
     unpack_members,
 )
+from .retention import ColdSegmentStore, RetentionPolicy
 
 BBox = Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
 
@@ -84,6 +86,21 @@ _GRID_REBUILDS = METRICS.counter(
     "repro_index_grid_rebuilds_total",
     "Region-grid rebuilds actually performed (bbox set changed).",
 )
+
+_EVICTED = METRICS.counter(
+    "repro_index_evicted_total",
+    "Convoys aged out of the live index by the retention policy.",
+)
+_LIVE_ROWS = METRICS.gauge(
+    "repro_index_live_rows",
+    "Convoys currently held by the live index.",
+)
+
+#: Reserved meta row (tag 0 sorts below every data tag): value is
+#: ``(min_live_cid, next_id)``.  Written by retention on a lazy-delete
+#: backend so a cold reopen can skip aged rows the compactor has not
+#: dropped yet and never reuse a retired convoy id.
+_HORIZON_KEY = encode_pair(0, 0)
 
 
 class _RegionGrid:
@@ -201,18 +218,43 @@ class ConvoyIndex:
         # after each add/evict with the affected record.  Attached after
         # construction, so _load() replays reach nobody.
         self._listeners: List = []
+        # Retention: policy + cold archive, attached via set_retention().
+        # _retention_cutoff is the highest partition-aligned end-tick
+        # cutoff applied so far (rows ending below it have aged out).
+        self._retention: Optional[RetentionPolicy] = None
+        self._cold: Optional[ColdSegmentStore] = None
+        self._retention_cutoff = 0
+        self.evicted_total = 0
+        # Backends with compaction (the LSM) retire rows lazily: retention
+        # skips the per-row tombstones and lets the next compaction drop
+        # the rows via the predicate.  Everyone else deletes eagerly.
+        self._lazy_delete = hasattr(self._backend, "set_drop_predicate")
+        # Convoy ids below this are retired; assigned monotonically with
+        # close order, so retention eviction always retires a cid prefix.
+        self._min_live = 0
         self._load()
 
     # -- persistence ---------------------------------------------------------
 
     def _load(self) -> None:
-        """Rebuild the hot state from the backend (cold reopen)."""
+        """Rebuild the hot state from the backend (cold reopen).
+
+        A lazy-delete backend may still hold rows of retired convoys the
+        compactor has not dropped yet; the persisted horizon row says
+        which cids those are, so the reopen skips them and resumes id
+        assignment past every id ever handed out.
+        """
+        horizon_next = 0
+        horizon = self._backend.get(_HORIZON_KEY)
+        if horizon is not None:
+            self._min_live, horizon_next = decode_pair(horizon)
         heads: Dict[int, Tuple[int, int]] = {}
         bboxes: Dict[int, Dict[int, Tuple[float, float]]] = {}
         members: Dict[int, List[bytes]] = {}
         for key, value in self._backend.range(*tag_range(TAG_HEAD)):
             _, cid, _ = decode_result_key(key)
-            heads[cid] = decode_pair(value)
+            if cid >= self._min_live:
+                heads[cid] = decode_pair(value)
         for key, value in self._backend.range(*tag_range(TAG_BBOX)):
             _, cid, row = decode_result_key(key)
             bboxes.setdefault(cid, {})[row] = decode_xy(value)
@@ -226,13 +268,19 @@ class ConvoyIndex:
             if corner and 0 in corner and 1 in corner:
                 bbox = (*corner[0], *corner[1])
             self._install(cid, Convoy.of(objects, start, end), bbox)
-        self._next_id = max(heads) + 1 if heads else 0
+        self._next_id = max(max(heads) + 1 if heads else 0, horizon_next)
+        if horizon is not None:
+            self._push_drop_predicate()
 
     def flush(self) -> None:
         self._backend.flush()
+        if self._cold is not None:
+            self._cold.flush()
 
     def close(self) -> None:
         self._backend.close()
+        if self._cold is not None:
+            self._cold.close()
 
     @property
     def backend(self) -> ResultBackend:
@@ -290,6 +338,7 @@ class ConvoyIndex:
         self._next_id += 1
         self._write(cid, convoy, bbox)
         self._install(cid, convoy, bbox)
+        _LIVE_ROWS.set(len(self._records))
         self.version += 1
         if bbox is not None:
             self._bbox_version += 1
@@ -319,22 +368,31 @@ class ConvoyIndex:
         for oid in convoy.objects:
             put(result_key(TAG_OBJ, oid, cid), span)
 
-    def _evict(self, cid: int) -> None:
+    def _evict(self, cid: int, *, delete_rows: bool = True) -> None:
+        """Drop a convoy from the hot state and (eagerly) the backend.
+
+        Retention on a lazy-delete backend passes ``delete_rows=False``:
+        instead of tombstoning every row, the aged rows stay put until
+        the next compaction discards them via the drop predicate — the
+        persisted horizon keeps reopens from resurrecting them.
+        """
         record = self._records.pop(cid)
         convoy = record.convoy
         self._masks.pop(cid, None)
         self._by_end.pop(bisect_left(self._by_end, (convoy.end, cid)))
-        delete = self._backend.delete
-        delete(result_key(TAG_HEAD, cid, 0))
-        n_chunks = (len(convoy.objects) + 1) // 2
-        for chunk in range(n_chunks):
-            delete(result_key(TAG_MEMBER, cid, chunk))
-        if record.bbox is not None:
-            delete(result_key(TAG_BBOX, cid, 0))
-            delete(result_key(TAG_BBOX, cid, 1))
-        delete(result_key(TAG_TIME, convoy.end, cid))
+        if delete_rows:
+            delete = self._backend.delete
+            delete(result_key(TAG_HEAD, cid, 0))
+            n_chunks = (len(convoy.objects) + 1) // 2
+            for chunk in range(n_chunks):
+                delete(result_key(TAG_MEMBER, cid, chunk))
+            if record.bbox is not None:
+                delete(result_key(TAG_BBOX, cid, 0))
+                delete(result_key(TAG_BBOX, cid, 1))
+            delete(result_key(TAG_TIME, convoy.end, cid))
+            for oid in convoy.objects:
+                delete(result_key(TAG_OBJ, oid, cid))
         for oid in convoy.objects:
-            delete(result_key(TAG_OBJ, oid, cid))
             ids = self._by_object.get(oid)
             if ids is not None:
                 ids.discard(cid)
@@ -352,6 +410,120 @@ class ConvoyIndex:
         insort(self._by_end, (convoy.end, cid))
         for oid in convoy.objects:
             self._by_object.setdefault(oid, set()).add(cid)
+
+    # -- retention -----------------------------------------------------------
+
+    def set_retention(
+        self,
+        policy: Optional[RetentionPolicy],
+        cold: Optional[ColdSegmentStore] = None,
+    ) -> None:
+        """Bound the live index; evicted convoys archive into ``cold``.
+
+        The ingest path calls :meth:`apply_retention` with the feed
+        frontier after every published tick; queries with
+        ``include_cold=True`` read the archive back through the cold
+        store.
+        """
+        self._retention = policy
+        self._cold = cold
+
+    @property
+    def retention(self) -> Optional[RetentionPolicy]:
+        return self._retention
+
+    @property
+    def cold(self) -> Optional[ColdSegmentStore]:
+        return self._cold
+
+    def retention_backlog(self) -> int:
+        """Rows currently eligible for eviction but still live.
+
+        Near zero in steady state — it only grows while eviction work
+        is queued behind the single writer, which makes it a health
+        signal for the serving front.
+        """
+        policy = self._retention
+        if policy is None:
+            return 0
+        backlog = 0
+        if self._retention_cutoff:
+            backlog = bisect_left(self._by_end, (self._retention_cutoff, -1))
+        if policy.max_rows is not None:
+            backlog = max(backlog, len(self._records) - policy.max_rows)
+        return max(0, backlog)
+
+    def apply_retention(self, frontier: int) -> int:
+        """Age out-of-window convoys behind ``frontier``; returns the count.
+
+        The window cutoff advances in partition-aligned steps (see
+        :class:`RetentionPolicy`), so eviction work arrives in batches
+        and the live row count overshoots the window by at most one
+        partition's worth.  Each evicted convoy is archived to the cold
+        store *before* the live rows are deleted — a crash between the
+        two leaves the convoy both cold and live, which recovery
+        resolves by re-evicting (cold readers deduplicate by id).
+        """
+        policy = self._retention
+        if policy is None:
+            return 0
+        cutoff = policy.cutoff(frontier)
+        if cutoff is not None and cutoff > self._retention_cutoff:
+            self._retention_cutoff = cutoff
+        evicted = 0
+        if self._retention_cutoff:
+            while self._by_end and self._by_end[0][0] < self._retention_cutoff:
+                self._retire(self._by_end[0][1])
+                evicted += 1
+        if policy.max_rows is not None:
+            while len(self._records) > policy.max_rows and self._by_end:
+                self._retire(self._by_end[0][1])
+                evicted += 1
+        if evicted:
+            self._min_live = min(self._records, default=self._next_id)
+            _EVICTED.inc(evicted)
+            _LIVE_ROWS.set(len(self._records))
+            if self._lazy_delete:
+                self._backend.put(
+                    _HORIZON_KEY, encode_pair(self._min_live, self._next_id)
+                )
+                self._push_drop_predicate()
+        return evicted
+
+    def _retire(self, cid: int) -> None:
+        """Archive one convoy cold, then evict its live rows."""
+        record = self._records[cid]
+        if self._cold is not None:
+            self._cold.append(record)  # crash point: service.cold.append
+        FAULTS.crash_point("service.retention.evict")
+        self._evict(cid, delete_rows=not self._lazy_delete)
+        self.evicted_total += 1
+
+    def _push_drop_predicate(self) -> None:
+        """Teach an LSM backend to drop aged rows during compaction.
+
+        Retention retires convoys in close order and ids are assigned
+        monotonically, so every id below the smallest live one belongs
+        to a convoy that is either retired (rows still on disk, dropped
+        here) or subsumption-evicted (rows already tombstoned; the
+        predicate lets compaction discard the tombstones too).  TIME and
+        OBJ rows carry the cid in their low field, HEAD/MEMBER/BBOX in
+        the high one; the horizon meta row is never matched (tag 0).
+        """
+        hook = getattr(self._backend, "set_drop_predicate", None)
+        if hook is None:
+            return
+        min_live = self._min_live
+
+        def drop(key: bytes) -> bool:
+            tag, a, b = decode_result_key(key)
+            if tag == TAG_TIME or tag == TAG_OBJ:
+                return b < min_live
+            if tag == 0:
+                return False
+            return a < min_live  # HEAD / MEMBER / BBOX are keyed by cid
+
+        hook(drop)
 
     # -- hot query paths -----------------------------------------------------
 
@@ -473,13 +645,16 @@ class ConvoyIndex:
         for key, value in self._backend.range(*tag_range(TAG_TIME, a_lo=start)):
             _, _end, cid = decode_result_key(key)
             convoy_start, _ = decode_pair(value)
-            if convoy_start <= end:
+            # Lazy-deleted rows of retired convoys may linger until the
+            # next compaction; the horizon filters them out of scans.
+            if convoy_start <= end and cid >= self._min_live:
                 ids.append(cid)
         return ids
 
     def scan_object(self, oid: int) -> List[int]:
         """Object-index scan on the backend."""
         return sorted(
-            decode_result_key(key)[2]
+            cid
             for key, _ in self._backend.range(*tag_range(TAG_OBJ, oid, oid))
+            if (cid := decode_result_key(key)[2]) >= self._min_live
         )

@@ -226,8 +226,10 @@ class ConvoyIngestService:
         FAULTS.crash_point("service.observe.after-wal")
         closed = self._apply_snapshot(t, oid_arr, xs_arr, ys_arr)
         self._applied[src] = seq
-        if self._journal is not None and self._journal.should_checkpoint():
-            self.checkpoint()
+        if self._journal is not None:
+            reason = self._journal.should_checkpoint()
+            if reason:
+                self.checkpoint(trigger=reason)
         return closed
 
     def finish(self, src: str = "", seq: Optional[int] = None) -> List[Convoy]:
@@ -244,7 +246,7 @@ class ConvoyIngestService:
         self._applied[src] = seq
         self.index.flush()
         if self._journal is not None:
-            self.checkpoint()
+            self.checkpoint(trigger="final")
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -275,19 +277,23 @@ class ConvoyIngestService:
         """Per-source applied-sequence watermarks (read-only copy)."""
         return dict(self._applied)
 
-    def checkpoint(self) -> None:
+    def checkpoint(self, trigger: str = "manual") -> None:
         """Persist the open state now and truncate the covered WAL.
 
         No-op without a journal.  The index is flushed first, so every
         convoy closed before the checkpoint is durable in the backend by
         the time the WAL suffix that would re-close it is discarded.
+        ``trigger`` records why the checkpoint fired ("count", "bytes",
+        "age", "final", "manual") for the ``/stats`` durability block.
         """
         if self._journal is None:
             return
         with TRACER.span("ingest.checkpoint"):
             self.index.flush()
             self.stats.checkpoints += 1
-            self._journal.write_checkpoint(self._checkpoint_state())
+            self._journal.write_checkpoint(
+                self._checkpoint_state(), trigger=trigger
+            )
 
     def _checkpoint_state(self) -> CheckpointState:
         sharder_config = None
@@ -464,13 +470,19 @@ class ConvoyIngestService:
                 )
             with TRACER.span("ingest.index", closed=len(closed)):
                 self._publish(closed)
+            if self.index.retention is not None:
+                with TRACER.span("ingest.retention"):
+                    self.index.apply_retention(int(t))
         return closed
 
     def _apply_finish(self) -> List[Convoy]:
         for monitor in self._shard_monitors:
             monitor.finish()
+        last = self._chain.last_time
         closed = self._chain.finish()
         self._publish(closed)
+        if self.index.retention is not None and last is not None:
+            self.index.apply_retention(int(last))
         return closed
 
     def _cluster_views(self, views) -> List[List[Fragment]]:

@@ -127,22 +127,43 @@ class ConvoyQueryEngine:
 
     # -- queries -------------------------------------------------------------
 
-    def time_range(self, start: int, end: int) -> List[Convoy]:
-        """Maximal convoys whose lifespan overlaps ``[start, end]``."""
+    def time_range(
+        self, start: int, end: int, include_cold: bool = False
+    ) -> List[Convoy]:
+        """Maximal convoys whose lifespan overlaps ``[start, end]``.
+
+        ``include_cold=True`` additionally reads the retention archive,
+        recovering convoys the live index already aged out (an explicit
+        opt-in: cold reads scan flatfile segments, not the hot index).
+        """
         if start > end:
             raise ValueError(f"empty query interval [{start}, {end}]")
         start, end = _canon(start), _canon(end)
         return self._timed("time_range", lambda: self._cached(
-            ("time", start, end),
-            lambda: self._materialise(self._index.ids_overlapping(start, end)),
+            ("time", start, end, include_cold),
+            lambda: self._merge_cold(
+                self._materialise(self._index.ids_overlapping(start, end)),
+                lambda cold: cold.time_range(start, end),
+                include_cold,
+            ),
         ))
 
-    def object_history(self, oid: int) -> List[Convoy]:
-        """Every convoy the object has ever travelled in."""
+    def object_history(
+        self, oid: int, include_cold: bool = False
+    ) -> List[Convoy]:
+        """Every convoy the object has ever travelled in.
+
+        ``include_cold=True`` extends the history through the retention
+        archive (see :meth:`time_range`).
+        """
         oid = int(oid)
         return self._timed("object_history", lambda: self._cached(
-            ("object", oid),
-            lambda: self._materialise(self._index.ids_of_object(oid)),
+            ("object", oid, include_cold),
+            lambda: self._merge_cold(
+                self._materialise(self._index.ids_of_object(oid)),
+                lambda cold: cold.object_history(oid),
+                include_cold,
+            ),
         ))
 
     def containing(self, oids: Sequence[int]) -> List[Convoy]:
@@ -215,3 +236,30 @@ class ConvoyQueryEngine:
     def _materialise(self, ids: Sequence[int]) -> List[Convoy]:
         records = (self._index.get(cid) for cid in ids)
         return sort_convoys(r.convoy for r in records if r is not None)
+
+    def _merge_cold(
+        self,
+        hot: List[Convoy],
+        cold_query: Callable,
+        include_cold: bool,
+    ) -> List[Convoy]:
+        """Merge cold-archive results into a hot result set.
+
+        Cold growth is eviction-coupled (each archived convoy bumps the
+        index version as it leaves the live set), so the version-keyed
+        cache covers cold results exactly like hot ones.  Deduplication
+        by value handles the crash window where a convoy is archived but
+        not yet evicted.
+        """
+        if not include_cold:
+            return hot
+        cold_store = self._index.cold
+        if cold_store is None:
+            return hot
+        seen = set(hot)
+        merged = list(hot)
+        for record in cold_query(cold_store):
+            if record.convoy not in seen:
+                seen.add(record.convoy)
+                merged.append(record.convoy)
+        return sort_convoys(merged)

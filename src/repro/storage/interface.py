@@ -26,6 +26,7 @@ class IOStats:
     full_scans: int = 0
     buffer_hits: int = 0
     buffer_misses: int = 0
+    compaction_drops: int = 0  # live rows aged out during LSM compaction
 
     def reset(self) -> None:
         for name in self.__dataclass_fields__:
@@ -37,5 +38,6 @@ class IOStats:
             f"bytes r/w {self.bytes_read}/{self.bytes_written}  "
             f"seeks {self.seeks}  scans {self.full_scans}  "
             f"ranges {self.range_scans}  points {self.point_queries}  "
-            f"buffer hit/miss {self.buffer_hits}/{self.buffer_misses}"
+            f"buffer hit/miss {self.buffer_hits}/{self.buffer_misses}  "
+            f"compaction drops {self.compaction_drops}"
         )

@@ -3,19 +3,38 @@
 When the number of SSTables exceeds the policy's fan-in, all runs are merged
 into a single new run.  Newer runs win on duplicate keys (last-write-wins),
 which the merge implements by tagging each heap entry with the run's age.
+
+A compaction may additionally carry a **drop predicate** (installed by
+the retention layer): keys it matches are discarded outright instead of
+being rewritten into the output run — the cheap way to age rows out of
+the LSM, since a full merge is the one moment every surviving version of
+a key is in hand.  Dropped live rows are counted into
+``IOStats.compaction_drops``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..interface import IOStats
+from ..record import TOMBSTONE
 from .sstable import SSTable, write_sstable
 
+DropPredicate = Callable[[bytes], bool]
 
-def merge_runs(tables: List[SSTable]) -> Iterator[Tuple[bytes, bytes]]:
-    """Merge sorted runs; ``tables[0]`` is newest and wins duplicates."""
+
+def merge_runs(
+    tables: List[SSTable],
+    drop: Optional[DropPredicate] = None,
+    stats: Optional[IOStats] = None,
+) -> Iterator[Tuple[bytes, bytes]]:
+    """Merge sorted runs; ``tables[0]`` is newest and wins duplicates.
+
+    With ``drop``, matching keys are skipped entirely — live versions
+    are counted as ``compaction_drops``, matching tombstones vanish for
+    free (nothing is left for them to shadow).
+    """
     heap = []
     iterators = [table.items() for table in tables]
     for age, iterator in enumerate(iterators):
@@ -31,11 +50,18 @@ def merge_runs(tables: List[SSTable]) -> Iterator[Tuple[bytes, bytes]]:
         if key == previous_key:
             continue  # an older duplicate; the newer value already went out
         previous_key = key
+        if drop is not None and drop(key):
+            if stats is not None and value != TOMBSTONE:
+                stats.compaction_drops += 1
+            continue
         yield key, value
 
 
 def compact(
-    tables: List[SSTable], output_path: str, stats: Optional[IOStats] = None
+    tables: List[SSTable],
+    output_path: str,
+    stats: Optional[IOStats] = None,
+    drop: Optional[DropPredicate] = None,
 ) -> SSTable:
     """Merge all runs (newest first) into one new SSTable."""
-    return write_sstable(output_path, merge_runs(tables), stats)
+    return write_sstable(output_path, merge_runs(tables, drop, stats), stats)

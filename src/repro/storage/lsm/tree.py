@@ -46,10 +46,14 @@ class LSMTree:
         memtable_limit: int = 64 * 1024,
         compaction_fanin: int = 6,
         stats: Optional[IOStats] = None,
+        drop_predicate=None,
     ):
         self.directory = directory
         self.memtable_limit = memtable_limit
         self.compaction_fanin = compaction_fanin
+        # Retention hook: keys this matches are discarded (not rewritten)
+        # by the next compaction.  See set_drop_predicate().
+        self._drop_predicate = drop_predicate
         self.stats = stats if stats is not None else IOStats()
         METRICS.register_iostats("lsmt", self.stats)
         os.makedirs(directory, exist_ok=True)
@@ -137,13 +141,25 @@ class LSMTree:
         FAULTS.crash_point("lsm.flush.before-wal-truncate")
         self._wal.truncate()
 
+    def set_drop_predicate(self, drop) -> None:
+        """Install a retention predicate for subsequent compactions.
+
+        ``drop(key) -> bool``; matching rows (and their tombstones) are
+        discarded during the full merge instead of being rewritten,
+        counted into ``stats.compaction_drops``.  The predicate must
+        only match keys whose loss the caller can afford — here, rows of
+        convoys the index has already retired.
+        """
+        self._drop_predicate = drop
+
     def _maybe_compact(self) -> None:
         if len(self._runs) < self.compaction_fanin:
             return
         path = self._run_path(self._next_run)
         self._next_run += 1
         # A full merge sees every run, so tombstones have shadowed all the
-        # data they can shadow and are dropped for good.
+        # data they can shadow and are dropped for good — and retention's
+        # drop predicate may discard aged rows outright.
         from .compaction import merge_runs
         from .sstable import write_sstable
 
@@ -152,13 +168,18 @@ class LSMTree:
             path,
             (
                 (key, value)
-                for key, value in merge_runs(self._runs)
+                for key, value in merge_runs(
+                    self._runs, self._drop_predicate, self.stats
+                )
                 if value != TOMBSTONE
             ),
             self.stats,
         )
         _COMPACTIONS.inc()
         _COMPACTION_BYTES.inc(self.stats.bytes_written - written_before)
+        # Crash here and the reopened tree sees the merged run (newest)
+        # shadowing the stale inputs; the next compaction removes them.
+        FAULTS.crash_point("lsm.compact.before-run-remove")
         for run in self._runs:
             run.close()
             os.remove(run.path)

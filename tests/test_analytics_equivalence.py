@@ -182,6 +182,75 @@ class TestCoTravelEquivalence:
             brute_co_travel_components(records, min_weight)
 
 
+@pytest.fixture(scope="module")
+def trucks_closed():
+    """The trucks workload's convoy records, in close (end-tick) order."""
+    build, eps = _WORKLOADS["trucks"]
+    service = (
+        ConvoySession.from_dataset(build())
+        .params(m=3, k=10, eps=eps)
+        .serve()
+    )
+    closed = sorted(service.index.records(), key=lambda r: r.convoy.end)
+    assert closed, "trucks workload must close convoys"
+    return closed
+
+
+def _churn_case(closed, seed, window, max_rows):
+    """Interleave ingest with retention eviction, pin analytics to brute.
+
+    Replays the closed convoys in end order into a fresh index under a
+    retention policy, applying eviction at random points of the feed
+    (and spot-checking mid-churn), then asserts every analytic equals
+    brute-force recomputation over exactly the retained records.
+    """
+    import random
+
+    from repro.analytics import ConvoyAnalytics
+    from repro.service.index import ConvoyIndex
+    from repro.service.retention import RetentionPolicy
+
+    rng = random.Random(seed)
+    index = ConvoyIndex()
+    index.set_retention(
+        RetentionPolicy(window=window, max_rows=max_rows, partition=1)
+    )
+    engine = ConvoyAnalytics(index)  # attached before the churn starts
+    for record in closed:
+        index.add(record.convoy, bbox=record.bbox)
+        if rng.random() < 0.4:
+            index.apply_retention(record.convoy.end)
+        if rng.random() < 0.2:
+            live = index.records()
+            assert engine.summary.convoy_count == len(live)
+            assert engine.windowed(7) == brute_windowed(live, 7)
+    index.apply_retention(closed[-1].convoy.end + rng.randrange(0, 2 * window))
+    live = index.records()
+    assert engine.summary.convoy_count == len(live)
+    assert engine.windowed(5) == brute_windowed(live, 5)
+    assert engine.top_k(4, by="size", group="region", width=10) == \
+        brute_top_k(live, engine.region_cell_size, 4, by="size",
+                    group="region", width=10)
+    assert engine.group_by_object() == brute_group_by_object(live)
+    assert engine.co_travel_pairs(10) == brute_co_travel_pairs(live, 10)
+
+
+class TestRetentionChurnEquivalence:
+    """Satellite: summaries survive random ingest/eviction interleavings."""
+
+    def test_deterministic_anchor(self, trucks_closed):
+        _churn_case(trucks_closed, seed=0, window=20, max_rows=None)
+
+    @given(
+        seed=st.integers(0, 10**6),
+        window=st.integers(3, 40),
+        max_rows=st.one_of(st.none(), st.integers(2, 30)),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_churn_matches_brute(self, trucks_closed, seed, window, max_rows):
+        _churn_case(trucks_closed, seed, window, max_rows)
+
+
 class TestMaintenanceEquivalence:
     """The summary is identical no matter when the listener attached."""
 

@@ -308,6 +308,136 @@ class TestServiceRecovery:
         index.close()
 
 
+class TestRetentionCrashRecovery:
+    """Crash points on the new bounded-operation paths recover consistently."""
+
+    def _retained_session(self, store):
+        return (
+            ConvoySession.blank()
+            .params(m=Q.m, k=Q.k, eps=Q.eps)
+            .store("lsm", store)
+            .durable(checkpoint_every=2)
+            .retain(window=2)
+        )
+
+    def _crash_feed_then_recover(self, session):
+        """Feed until the armed point fires, then recover and re-feed all."""
+        handle = session.feed()
+        with pytest.raises(InjectedCrash):
+            for t, oids, xs, ys in _ticks():
+                handle.observe(t, oids, xs, ys, seq=t)
+            handle.finish()
+        FAULTS.disarm()
+        resumed = session.feed()  # walk away from the dead handle entirely
+        for t, oids, xs, ys in _ticks():
+            resumed.observe(t, oids, xs, ys, seq=t)  # duplicates are acked
+        resumed.finish()
+        return resumed
+
+    def test_crash_mid_eviction_recovers_without_loss_or_duplicates(
+        self, tmp_path
+    ):
+        """Die between the cold append and the live delete, then recover.
+
+        The convoy is briefly both cold and live; recovery re-evicts it
+        and the cold reader deduplicates by id, so the merged query sees
+        the uninterrupted answer exactly once.
+        """
+        session = self._retained_session(str(tmp_path / "idx"))
+        FAULTS.arm("service.retention.evict")
+        resumed = self._crash_feed_then_recover(session)
+        merged = resumed.query.time_range(0, 100, include_cold=True)
+        assert _convoy_set(merged) == _baseline()
+        assert len(merged) == len(_convoy_set(merged))  # no duplicates
+        assert resumed.index.evicted_total >= 1
+        resumed.close()
+
+    def test_torn_cold_append_is_truncated_on_reopen(self, tmp_path):
+        """A partial cold-segment write must not hide later archives."""
+        session = self._retained_session(str(tmp_path / "idx"))
+        FAULTS.arm("service.cold.append", partial=10)
+        resumed = self._crash_feed_then_recover(session)
+        # The torn frame was dropped at reopen; recovery re-archived the
+        # convoy after it, and the reader sees every archived convoy.
+        merged = resumed.query.time_range(0, 100, include_cold=True)
+        assert _convoy_set(merged) == _baseline()
+        cold_ids = [r.convoy_id for r in resumed.index.cold.records()]
+        assert len(cold_ids) == len(set(cold_ids))
+        assert resumed.index.evicted_total >= 1
+        resumed.close()
+
+    def test_crash_during_wal_rotate_loses_no_records(self, tmp_path):
+        path = str(tmp_path / "feed.wal")
+        wal = FeedWAL(path, segment_bytes=256)
+        oids = np.array([1], dtype=np.int64)
+        xy = np.array([0.0])
+        appended = []
+        FAULTS.arm("service.wal.rotate")
+        with pytest.raises(InjectedCrash):
+            for seq in range(1, 200):
+                wal.append_snapshot("s", seq, seq, oids, xy, xy)
+                appended.append(seq)
+        # The append that tripped the rotation is durable too: the crash
+        # lands after the active file is closed, before the rename.
+        crashed_at = appended[-1] + 1
+        assert [r.seq for r in FeedWAL.replay(path)] == appended + [crashed_at]
+
+        # A reopened WAL appends (and rotates) past the un-renamed file.
+        reopened = FeedWAL(path, segment_bytes=256)
+        for seq in range(crashed_at + 1, crashed_at + 40):
+            reopened.append_snapshot("s", seq, seq, oids, xy, xy)
+        reopened.close()
+        replayed = [r.seq for r in FeedWAL.replay(path)]
+        assert replayed == list(range(1, crashed_at + 40))
+        assert has_durable_state(os.path.dirname(path)) or True  # smoke
+
+    def test_compaction_crash_keeps_live_rows_and_redrops_aged_ones(
+        self, tmp_path
+    ):
+        """Die after the merged run is written, before the inputs go.
+
+        The reopened tree sees the merged run shadowing the stale inputs:
+        live keys read exactly once.  Rows the drop predicate discarded
+        may resurface from the stale runs (upstream, the index's horizon
+        filter hides them) until the next compaction drops them again.
+        """
+        from repro.storage.lsm.tree import LSMTree
+
+        def k(name):  # 16-byte fixed keys, strictly ordered by name
+            return name.ljust(16, b"\x00")
+
+        def v(name):
+            return name.ljust(16, b"\x00")
+
+        directory = str(tmp_path / "lsm")
+        drop_aged = lambda key: key.startswith(b"aged-")  # noqa: E731
+        tree = LSMTree(
+            directory, memtable_limit=1, compaction_fanin=3,
+            drop_predicate=drop_aged,
+        )
+        tree.put(k(b"aged-1"), v(b"x"))   # flushes per put (limit 1)
+        tree.put(k(b"keep-1"), v(b"y"))
+        FAULTS.arm("lsm.compact.before-run-remove")
+        with pytest.raises(InjectedCrash):
+            tree.put(k(b"keep-2"), v(b"z"))  # third run triggers compaction
+        assert tree.stats.compaction_drops >= 1
+
+        reopened = LSMTree(directory, compaction_fanin=2)
+        assert reopened.get(k(b"keep-1")) == v(b"y")
+        assert reopened.get(k(b"keep-2")) == v(b"z")
+        scan = list(reopened.range(b"\x00" * 16, b"\xff" * 16))
+        assert len(scan) == len({key for key, _ in scan})  # no duplicates
+
+        # Re-arming retention re-drops the aged row at the next merge.
+        reopened.set_drop_predicate(drop_aged)
+        while reopened.get(k(b"aged-1")) is not None:
+            reopened.put(k(b"keep-3"), v(b"w"))
+            reopened.flush()
+        assert reopened.get(k(b"keep-1")) == v(b"y")
+        assert reopened.get(k(b"keep-3")) == v(b"w")
+        reopened.close()
+
+
 class TestSessionDurableResume:
     def test_feed_resumes_after_abandoned_handle(self, tmp_path):
         store = str(tmp_path / "idx")
