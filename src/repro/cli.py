@@ -15,6 +15,7 @@ Examples::
     repro-convoy query ./idx --time 10:80
     repro-convoy query ./idx --object 42
     repro-convoy stats --port 8080
+    repro-convoy lint --strict
 """
 
 from __future__ import annotations
@@ -176,6 +177,26 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="cap the live index at N convoys, evicting oldest-ending first",
+    )
+
+    lint = commands.add_parser(
+        "lint", help="run the project's AST invariant checker over the repo"
+    )
+    lint.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="repo root to lint (default: auto-detected from cwd)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (the CI mode)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     stats = commands.add_parser(
@@ -621,6 +642,21 @@ def _analytics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    """Run the invariant checker; devtools import stays lazy so normal
+    subcommands never pay for (or depend on) the lint machinery."""
+    from .devtools.lint import main as lint_main
+
+    argv: List[str] = []
+    if args.root:
+        argv.append(args.root)
+    if args.strict:
+        argv.append("--strict")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _stats(args: argparse.Namespace) -> int:
     """Fetch and pretty-print a running server's observability snapshot."""
     from .server.client import NO_RETRY, ConvoyClient, ConvoyServerError
@@ -707,6 +743,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "algorithms": _algorithms,
         "info": _info,
         "serve": _serve,
+        "lint": _lint,
         "stats": _stats,
         "query": _query,
         "analytics": _analytics,

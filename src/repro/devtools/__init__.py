@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repo but stays off the public API.
+
+Nothing under :mod:`repro.devtools` is exported through :mod:`repro.api`
+(asserted by ``tests/test_api_surface.py``): these are tools for working
+*on* the codebase — the :mod:`repro.devtools.lint` invariant checker —
+not part of the library surface users program against.
+"""

@@ -1,0 +1,20 @@
+"""``repro-lint``: the project-specific AST invariant checker.
+
+Run it as ``python -m repro.devtools.lint [--strict]`` or
+``repro-convoy lint``.  See :mod:`repro.devtools.lint.engine` for the
+engine vocabulary and the suppression syntax, and the README's
+"Static analysis" section for the rule catalogue.
+"""
+
+from .engine import Finding, LintContext, Module, Rule, main, run_lint
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Module",
+    "Rule",
+    "main",
+    "run_lint",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.devtools.lint [--strict] [root]``."""
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

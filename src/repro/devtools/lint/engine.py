@@ -1,0 +1,354 @@
+"""The ``repro-lint`` rule engine: AST walks, findings, suppressions.
+
+The linter enforces the *project's own* cross-cutting invariants — the
+ones PRs 1–9 established by convention (single-writer mutation
+discipline, crash-point hygiene, metric naming, codec symmetry, listener
+ordering) — the way mature DBMS codebases ship custom checkers beside
+their test suites.  It is stdlib-only (:mod:`ast`), mirroring the
+repo's no-dependency policy.
+
+Vocabulary
+----------
+* :class:`Finding` — one violation: ``path:line``, rule id, severity
+  (``error`` or ``warning``), message.
+* :class:`Rule` — one invariant.  ``visit(module, ctx)`` yields findings
+  for a single parsed file; ``finalize(ctx)`` yields cross-file findings
+  after every file has been visited (rules keep per-run state on
+  ``self``; :func:`run_lint` instantiates fresh rule objects each run).
+* :func:`run_lint` — walk a tree, parse every ``.py`` file, apply the
+  rules, drop suppressed findings, return the rest sorted.
+
+Suppressions
+------------
+A finding is suppressed by a comment on the offending line or the line
+directly above it::
+
+    risky_call()  # lint: disable=rule-id — one-line justification
+
+``# lint: disable=a,b`` silences several rules at once;
+``# lint: disable-file=rule-id`` anywhere in a file silences a rule for
+the whole file (used sparingly — prefer line-level suppressions, which
+keep the justification next to the code they excuse).
+
+Exit codes (``python -m repro.devtools.lint`` / ``repro-convoy lint``):
+0 clean, 1 findings, 2 usage error.  ``--strict`` makes warnings count
+as failures (the CI mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Finding", "LintContext", "Module", "Rule", "main", "run_lint"]
+
+SEVERITIES = ("warning", "error")
+
+_SUPPRESS_LINE_RE = re.compile(r"#\s*lint:\s*disable=([a-z0-9_,\- ]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([a-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    path: str  # repo-relative, posix separators
+    line: int
+    rule: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.severity}: {self.message}"
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every rule."""
+
+    path: Path  # absolute
+    relpath: str  # relative to the lint root, posix separators
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+
+class LintContext:
+    """Shared state for one lint run: the root, every parsed module, and
+    the lazily-loaded *reference corpus* (tests + benchmarks text) that
+    coverage rules grep for symbol references."""
+
+    def __init__(self, root: Path, modules: Sequence[Module]):
+        self.root = root
+        self.modules = list(modules)
+        self._corpus: Optional[str] = None
+
+    def corpus(self) -> str:
+        """Concatenated text of every ``tests/``/``benchmarks/`` file.
+
+        Used by coverage rules ("every crash point is referenced by at
+        least one test") — a substring probe over this blob is cheap and
+        robust against how the test spells the reference.
+        """
+        if self._corpus is None:
+            chunks: List[str] = []
+            for folder in ("tests", "benchmarks"):
+                base = self.root / folder
+                if not base.is_dir():
+                    continue
+                for path in sorted(base.rglob("*.py")):
+                    try:
+                        chunks.append(path.read_text(encoding="utf-8"))
+                    except OSError:
+                        continue
+            self._corpus = "\n".join(chunks)
+        return self._corpus
+
+
+class Rule:
+    """Base class for one invariant.
+
+    Subclasses set ``rule_id``, ``severity`` and ``description``, and
+    override :meth:`visit` (per file) and/or :meth:`finalize` (cross
+    file).  ``only_files`` restricts ``visit`` to files whose relative
+    path ends with one of the given suffixes — rules that codify an
+    invariant *owned* by one module (the server's writer queue, the
+    index's listener protocol) scope themselves to that module instead
+    of guessing at lookalike code elsewhere.
+    """
+
+    rule_id: str = "abstract"
+    severity: str = "error"
+    description: str = ""
+    only_files: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: Module) -> bool:
+        if self.only_files is None:
+            return True
+        return any(module.relpath.endswith(suffix) for suffix in self.only_files)
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module_or_path, line: int, message: str) -> Finding:
+        path = (
+            module_or_path.relpath
+            if isinstance(module_or_path, Module)
+            else str(module_or_path)
+        )
+        return Finding(path, line, self.rule_id, self.severity, message)
+
+
+# -- AST helpers shared by the rule modules -----------------------------------
+
+
+def dotted(node: ast.AST) -> str:
+    """Render a ``Name``/``Attribute`` chain as dotted text, else ``""``.
+
+    ``self.service.ingest`` -> ``"self.service.ingest"``; anything with a
+    non-name base (a call, a subscript) renders as ``""`` so callers
+    treat it as unmatchable.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def shallow_walk(nodes: Iterable[ast.AST]) -> Iterable[ast.AST]:
+    """Walk statements without descending into nested function scopes.
+
+    Used by rules about *where* code runs (writer queue vs handler body):
+    a nested ``def job():`` or ``lambda`` is a different execution
+    context, so its body is not part of the enclosing one.
+    """
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a different execution context: don't enter it
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def functions(tree: ast.AST) -> Iterable[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def _iter_sources(targets: Sequence[Path]) -> Iterable[Path]:
+    for target in targets:
+        if target.is_file():
+            yield target
+            continue
+        for path in sorted(target.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path
+
+
+def _parse_modules(
+    root: Path, targets: Sequence[Path]
+) -> Tuple[List[Module], List[Finding]]:
+    modules: List[Module] = []
+    findings: List[Finding] = []
+    for path in _iter_sources(targets):
+        relpath = path.relative_to(root).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(relpath, 1, "parse-error", "error", f"unreadable: {error}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    relpath,
+                    error.lineno or 1,
+                    "parse-error",
+                    "error",
+                    f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        modules.append(Module(path, relpath, source, source.splitlines(), tree))
+    return modules, findings
+
+
+def _suppressed_rules(line_text: str, pattern: re.Pattern) -> List[str]:
+    match = pattern.search(line_text)
+    if not match:
+        return []
+    return [rule.strip() for rule in match.group(1).split(",") if rule.strip()]
+
+
+def _is_suppressed(finding: Finding, by_path: Dict[str, Module]) -> bool:
+    module = by_path.get(finding.path)
+    if module is None:
+        return False  # findings outside parsed files (e.g. tracked .pyc)
+    for text in module.lines:
+        if finding.rule in _suppressed_rules(text, _SUPPRESS_FILE_RE):
+            return True
+    for lineno in (finding.line, finding.line - 1):
+        if 1 <= lineno <= len(module.lines):
+            rules = _suppressed_rules(module.lines[lineno - 1], _SUPPRESS_LINE_RE)
+            if finding.rule in rules:
+                return True
+    return False
+
+
+def default_rules() -> List[Rule]:
+    from .rules import ALL_RULES
+
+    return [cls() for cls in ALL_RULES]
+
+
+def run_lint(
+    root,
+    rules: Optional[Sequence[Union[Rule, type]]] = None,
+    targets: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Lint ``root`` (its ``src/`` tree by default) and return findings.
+
+    ``rules`` accepts rule classes or pre-built instances (instances let
+    tests parameterise a rule); omitted, every registered rule runs.
+    Suppressed findings are dropped; the rest come back sorted by
+    ``(path, line)``.
+    """
+    root = Path(root).resolve()
+    if rules is None:
+        instances = default_rules()
+    else:
+        instances = [rule() if isinstance(rule, type) else rule for rule in rules]
+    if targets is None:
+        src = root / "src"
+        target_paths = [src if src.is_dir() else root]
+    else:
+        target_paths = [Path(t) if Path(t).is_absolute() else root / t for t in targets]
+    modules, findings = _parse_modules(root, target_paths)
+    ctx = LintContext(root, modules)
+    for rule in instances:
+        for module in modules:
+            if rule.applies_to(module):
+                findings.extend(rule.visit(module, ctx))
+        findings.extend(rule.finalize(ctx))
+    by_path = {module.relpath: module for module in modules}
+    return sorted(f for f in findings if not _is_suppressed(f, by_path))
+
+
+def _detect_root() -> Path:
+    cwd = Path.cwd()
+    for candidate in (cwd, *cwd.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # Running from an installed/source checkout: engine.py lives at
+    # <root>/src/repro/devtools/lint/engine.py.
+    packaged = Path(__file__).resolve().parents[4]
+    if (packaged / "src" / "repro").is_dir():
+        return packaged
+    return cwd
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="repo root to lint (default: auto-detected from cwd)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (the CI mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id:24} {rule.severity:8} {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else _detect_root()
+    if not root.is_dir():
+        print(f"repro-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = run_lint(root)
+    for finding in findings:
+        print(finding.render())
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        print(f"repro-lint: {errors} error(s), {warnings} warning(s)")
+    else:
+        print("repro-lint: clean")
+    if errors or (args.strict and warnings):
+        return 1
+    return 0

@@ -1,0 +1,42 @@
+"""The rule catalogue: every invariant ``repro-lint`` enforces.
+
+``ALL_RULES`` is the registry the engine instantiates per run; the
+README's "Static analysis" section documents each rule id, what it
+enforces and which PR introduced the invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+from ..engine import Rule
+from .apirules import ListenerOrderRule, MinerSchemaRule, RouteValidationRule
+from .codec import CodecPairRule, MagicOnceRule
+from .concurrency import LockGuardRule, SingleWriterRule
+from .durability import CrashPointCoverageRule, CrashPointRule
+from .exceptions import SilentExceptRule
+from .hygiene import NoBytecodeRule
+from .metricrules import (
+    MetricCardinalityRule,
+    MetricImportTimeRule,
+    MetricNamingRule,
+)
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    SingleWriterRule,
+    LockGuardRule,
+    CrashPointRule,
+    CrashPointCoverageRule,
+    CodecPairRule,
+    MagicOnceRule,
+    MetricNamingRule,
+    MetricCardinalityRule,
+    MetricImportTimeRule,
+    SilentExceptRule,
+    MinerSchemaRule,
+    RouteValidationRule,
+    ListenerOrderRule,
+    NoBytecodeRule,
+)
+
+__all__ = ["ALL_RULES"] + [cls.__name__ for cls in ALL_RULES]

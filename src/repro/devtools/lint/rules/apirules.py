@@ -1,0 +1,226 @@
+"""API-contract rules: miner schemas, route validation, listener order.
+
+PR 3 gave every registered algorithm a typed parameter schema; PR 4 put
+those schemas on the wire (every request parameter validated before any
+work); PR 7 hung the analytics layer off the index listener protocol,
+whose contract is "dispatch *after* the version bump" so listeners can
+key caches off the version they observe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..engine import Finding, LintContext, Module, Rule, dotted
+
+
+class MinerSchemaRule(Rule):
+    """Every ``@register_miner`` declares a schema for its extra params.
+
+    A miner taking keyword parameters beyond ``(source, query)`` without
+    a matching ``Param`` in the decorator's ``params=`` tuple is
+    callable through the registry with unvalidated input — the schema
+    layer exists so Python, CLI and wire callers share one contract.
+    """
+
+    rule_id = "miner-schema"
+    severity = "error"
+    description = "@register_miner extras are declared as typed Params"
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            decorator = self._register_call(node)
+            if decorator is None:
+                continue
+            arg_names = [arg.arg for arg in node.args.args][2:]
+            arg_names += [arg.arg for arg in node.args.kwonlyargs]
+            declared = self._declared_params(decorator)
+            missing = [name for name in arg_names if name not in declared]
+            if missing:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"miner `{node.name}` takes extra parameter(s) "
+                        f"{missing} with no Param(...) entry in the "
+                        f"register_miner params= schema; wire and CLI "
+                        f"callers would bypass validation",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _register_call(node) -> Optional[ast.Call]:
+        for decorator in node.decorator_list:
+            if (
+                isinstance(decorator, ast.Call)
+                and dotted(decorator.func).split(".")[-1] == "register_miner"
+            ):
+                return decorator
+        return None
+
+    @staticmethod
+    def _declared_params(decorator: ast.Call) -> Set[str]:
+        declared: Set[str] = set()
+        for keyword in decorator.keywords:
+            if keyword.arg != "params":
+                continue
+            value = keyword.value
+            elements = (
+                value.elts if isinstance(value, (ast.Tuple, ast.List)) else []
+            )
+            for element in elements:
+                if (
+                    isinstance(element, ast.Call)
+                    and element.args
+                    and isinstance(element.args[0], ast.Constant)
+                    and isinstance(element.args[0].value, str)
+                ):
+                    declared.add(element.args[0].value)
+        return declared
+
+
+class RouteValidationRule(Rule):
+    """Parameterised HTTP routes validate through the schema layer.
+
+    Reads the ``_ROUTES`` table in ``server/app.py``: every
+    ``/analytics/*`` handler and the ``/convoys`` handler must call
+    ``validated(...)``; the ``/mine`` handler must call
+    ``*.schema.validate`` (or ``validated``).  Violations answer
+    requests with hand-rolled parsing drifting from the typed
+    ``SchemaError`` envelope the clients are written against.
+    """
+
+    rule_id = "route-validation"
+    severity = "error"
+    description = "/analytics/*, /convoys and /mine handlers use typed schemas"
+    only_files = ("server/app.py",)
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        routes = self._routes(module)
+        if not routes:
+            return ()
+        handlers: Dict[str, ast.AST] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        findings: List[Finding] = []
+        for path, handler_name in sorted(routes.items()):
+            if not (path.startswith("/analytics/") or path in ("/convoys", "/mine")):
+                continue
+            handler = handlers.get(handler_name)
+            if handler is None:
+                continue
+            if not self._validates(handler):
+                findings.append(
+                    self.finding(
+                        module,
+                        handler.lineno,
+                        f"handler `{handler_name}` for route {path!r} never "
+                        f"calls validated()/schema.validate(); its "
+                        f"parameters bypass the typed schema layer",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _routes(module: Module) -> Dict[str, str]:
+        routes: Dict[str, str] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):  # _ROUTES: Dict[...] = {...}
+                targets = [node.target]
+            else:
+                continue
+            if not (
+                any(
+                    isinstance(t, ast.Name) and t.id == "_ROUTES" for t in targets
+                )
+                and isinstance(node.value, ast.Dict)
+            ):
+                continue
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (
+                    isinstance(key, ast.Tuple)
+                    and len(key.elts) == 2
+                    and isinstance(key.elts[1], ast.Constant)
+                    and isinstance(key.elts[1].value, str)
+                ):
+                    continue
+                if isinstance(value, ast.Attribute):
+                    routes[key.elts[1].value] = value.attr
+        return routes
+
+    @staticmethod
+    def _validates(handler: ast.AST) -> bool:
+        for node in ast.walk(handler):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "validated":
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "validate"
+                and dotted(node.func.value).endswith("schema")
+            ):
+                return True
+        return False
+
+
+class ListenerOrderRule(Rule):
+    """Index listeners dispatch only after the version bump.
+
+    In ``service/index.py``, a function calling ``listener.on_add`` or
+    ``listener.on_evict`` must have executed ``self.version += 1``
+    earlier in its body: listeners (analytics summaries, retention
+    rewind) key their incremental state off the version they observe,
+    so dispatching first hands them a stale version.
+    """
+
+    rule_id = "listener-order"
+    severity = "error"
+    description = "service/index.py: on_add/on_evict fire after `self.version += 1`"
+    only_files = ("service/index.py",)
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            dispatches = [
+                inner
+                for inner in ast.walk(node)
+                if isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in ("on_add", "on_evict")
+            ]
+            if not dispatches:
+                continue
+            bumps = [
+                inner.lineno
+                for inner in ast.walk(node)
+                if isinstance(inner, ast.AugAssign)
+                and isinstance(inner.op, ast.Add)
+                and isinstance(inner.target, ast.Attribute)
+                and inner.target.attr == "version"
+                and dotted(inner.target.value) == "self"
+            ]
+            for dispatch in dispatches:
+                if not bumps or min(bumps) > dispatch.lineno:
+                    findings.append(
+                        self.finding(
+                            module,
+                            dispatch.lineno,
+                            f"`{dispatch.func.attr}` dispatched in "
+                            f"`{node.name}` before (or without) the "
+                            f"`self.version += 1` bump; listeners would "
+                            f"observe a stale index version",
+                        )
+                    )
+        return findings

@@ -1,0 +1,167 @@
+"""Binary-codec agreement: struct formats pair up, magics are singular.
+
+The index rows, WAL frames, checkpoints, SSTables and cold segments are
+all hand-rolled ``struct`` codecs (PRs 2, 5, 9).  A format string that
+is packed but never unpacked (or vice versa) is a codec half: either
+dead weight or — worse — a reader/writer drifting apart.  File magics
+identify a format on disk; two formats sharing one magic can silently
+open each other's files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..engine import Finding, LintContext, Module, Rule, dotted
+
+_PACKERS = ("pack", "pack_into")
+_UNPACKERS = ("unpack", "unpack_from", "iter_unpack", "calcsize")
+
+
+class CodecPairRule(Rule):
+    """Every literal struct format appears on both codec sides.
+
+    ``struct.Struct(fmt)`` counts as both (the object packs and
+    unpacks).  A non-literal format is allowed only when it is a
+    parameter of the enclosing function — the codec-helper idiom
+    (``_Writer.pack(self, fmt, *values)``) — because the helper's
+    callers supply the literal.
+    """
+
+    rule_id = "codec-pair"
+    severity = "error"
+    description = "struct formats are literal and packed <-> unpacked symmetrically"
+
+    def __init__(self) -> None:
+        # fmt -> {"pack": [(path, line)], "unpack": [(path, line)]}
+        self._sides: Dict[str, Dict[str, List[Tuple[str, int]]]] = {}
+
+    def _record(self, fmt: str, side: str, module: Module, line: int) -> None:
+        sides = self._sides.setdefault(fmt, {"pack": [], "unpack": []})
+        sides[side].append((module.relpath, line))
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def scan(node: ast.AST, params: Set[str]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = set(params)
+                args = node.args
+                for arg in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                ):
+                    inner.add(arg.arg)
+                for child in ast.iter_child_nodes(node):
+                    scan(child, inner)
+                return
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base = dotted(node.func.value)
+                attr = node.func.attr
+                if base == "struct" and (
+                    attr in _PACKERS or attr in _UNPACKERS or attr == "Struct"
+                ):
+                    findings.extend(self._check_call(module, node, attr, params))
+            for child in ast.iter_child_nodes(node):
+                scan(child, params)
+
+        scan(module.tree, set())
+        return findings
+
+    def _check_call(
+        self, module: Module, call: ast.Call, attr: str, params: Set[str]
+    ) -> Iterable[Finding]:
+        if not call.args:
+            return ()
+        fmt_arg = call.args[0]
+        if isinstance(fmt_arg, ast.Constant) and isinstance(fmt_arg.value, str):
+            fmt = fmt_arg.value
+            if attr == "Struct":
+                self._record(fmt, "pack", module, call.lineno)
+                self._record(fmt, "unpack", module, call.lineno)
+            elif attr in _PACKERS:
+                self._record(fmt, "pack", module, call.lineno)
+            else:
+                self._record(fmt, "unpack", module, call.lineno)
+            return ()
+        if isinstance(fmt_arg, ast.Name) and fmt_arg.id in params:
+            return ()  # codec helper: the caller supplies the literal
+        return [
+            self.finding(
+                module,
+                call.lineno,
+                f"struct.{attr} format must be a string literal (or a "
+                f"parameter of a codec helper); a computed format cannot be "
+                f"matched against its opposite side",
+            )
+        ]
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fmt, sides in sorted(self._sides.items()):
+            if sides["pack"] and not sides["unpack"]:
+                for path, line in sides["pack"]:
+                    findings.append(
+                        self.finding(
+                            path,
+                            line,
+                            f"format {fmt!r} is packed here but never "
+                            f"unpacked anywhere — write-only codec half",
+                        )
+                    )
+            elif sides["unpack"] and not sides["pack"]:
+                for path, line in sides["unpack"]:
+                    findings.append(
+                        self.finding(
+                            path,
+                            line,
+                            f"format {fmt!r} is unpacked here but never "
+                            f"packed anywhere — read-only codec half",
+                        )
+                    )
+        return findings
+
+
+class MagicOnceRule(Rule):
+    """File magic byte constants are defined once, with unique values."""
+
+    rule_id = "magic-once"
+    severity = "error"
+    description = "on-disk magic byte constants are unique across formats"
+
+    def __init__(self) -> None:
+        self._magics: Dict[bytes, List[Tuple[str, int, str]]] = {}
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        for node in module.tree.body:  # module level only
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, bytes)
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and "MAGIC" in target.id.upper():
+                    self._magics.setdefault(node.value.value, []).append(
+                        (module.relpath, node.lineno, target.id)
+                    )
+        return ()
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for value, sites in sorted(self._magics.items()):
+            if len(sites) <= 1:
+                continue
+            first = sites[0]
+            for path, line, name in sites[1:]:
+                findings.append(
+                    self.finding(
+                        path,
+                        line,
+                        f"magic {value!r} ({name}) already used by "
+                        f"{first[2]} at {first[0]}:{first[1]}; two on-disk "
+                        f"formats must not share a magic",
+                    )
+                )
+        return findings

@@ -1,0 +1,175 @@
+"""Concurrency rules: writer-queue discipline and lock-guarded state.
+
+PR 4 established the server's concurrency model: every mutation of the
+ingest pipeline flows through the single-writer queue (a closure handed
+to ``_submit_write``), while reads run concurrently on the executor.
+PRs 5–9 added lock-owning classes (tracer, metrics registry, fault
+injector) whose shared attributes are written under ``self._lock``.
+These rules keep both disciplines from eroding silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..engine import Finding, LintContext, Module, Rule, dotted, shallow_walk
+
+#: Methods that mutate ConvoyIngestService / ConvoyIndex state.
+MUTATORS = ("observe", "finish", "checkpoint", "recover", "set_retention")
+
+
+class SingleWriterRule(Rule):
+    """Ingest mutations in the HTTP server must ride the writer queue.
+
+    Inside ``server/app.py``, a reference to ``*.observe`` / ``*.finish``
+    / ``*.checkpoint`` on an ingest-like receiver (or an append to the
+    server's point log) that appears *directly* in an ``async def``
+    handler body runs on the event loop or the reader pool — racing the
+    single writer.  Such calls are only legal inside a nested function
+    or lambda (the job closures submitted to ``_submit_write``).
+    """
+
+    rule_id = "single-writer"
+    severity = "error"
+    description = (
+        "server/app.py: ingest mutations only inside writer-queue job closures"
+    )
+    only_files = ("server/app.py",)
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in shallow_walk(node.body):
+                if not isinstance(inner, ast.Attribute):
+                    continue
+                base = dotted(inner.value)
+                parts = base.split(".") if base else []
+                offending = (
+                    inner.attr in MUTATORS and "ingest" in parts
+                ) or (inner.attr == "append" and parts and parts[-1] == "_points")
+                if offending:
+                    findings.append(
+                        self.finding(
+                            module,
+                            inner.lineno,
+                            f"mutation `{base}.{inner.attr}` outside the "
+                            f"single-writer queue (reader/executor context in "
+                            f"`async def {node.name}`); wrap it in a job "
+                            f"closure submitted via _submit_write",
+                        )
+                    )
+        return findings
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names a class binds to ``threading.Lock()/RLock()``."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and dotted(value.func) in ("threading.Lock", "threading.RLock")
+        ):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+class LockGuardRule(Rule):
+    """Shared attributes of lock-owning classes are written under the lock.
+
+    A class that creates a ``threading.Lock`` has declared itself
+    multi-threaded.  An attribute rebound (``self.x = ...`` or
+    ``self.x += ...``) from two or more different methods is shared
+    mutable state crossing thread-entry contexts; every such write
+    outside ``__init__`` must sit inside ``with self._lock:`` (any of
+    the class's lock attributes).  Append-only container mutation
+    (``self.items.append(...)``) is exempt — rebinding is the race.
+    """
+
+    rule_id = "lock-guard"
+    severity = "warning"
+    description = (
+        "classes owning a threading.Lock guard multi-method attribute writes"
+    )
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                findings.extend(self._check_class(module, cls))
+        return findings
+
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterable[Finding]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return ()
+        guard_names = {f"self.{lock}" for lock in locks}
+        # (attr -> method -> [(lineno, guarded)]) for rebinds of self.attr.
+        writes: Dict[str, Dict[str, List[Tuple[int, bool]]]] = {}
+
+        def record(method: str, node: ast.AST, guarded: bool) -> None:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in locks
+                ):
+                    writes.setdefault(target.attr, {}).setdefault(method, []).append(
+                        (node.lineno, guarded)
+                    )
+
+        def scan(method: str, nodes: Iterable[ast.stmt], guarded: bool) -> None:
+            for node in nodes:
+                if isinstance(node, ast.With):
+                    inner_guarded = guarded or any(
+                        dotted(item.context_expr) in guard_names
+                        for item in node.items
+                    )
+                    scan(method, node.body, inner_guarded)
+                    continue
+                record(method, node, guarded)
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.stmt):
+                        scan(method, [child], guarded)
+
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan(item.name, item.body, guarded=False)
+
+        findings: List[Finding] = []
+        for attr, by_method in writes.items():
+            methods = {name for name in by_method if name != "__init__"}
+            if len(methods) < 2:
+                continue
+            for method in sorted(methods):
+                for lineno, guarded in by_method[method]:
+                    if not guarded:
+                        findings.append(
+                            self.finding(
+                                module,
+                                lineno,
+                                f"`self.{attr}` is rebound from "
+                                f"{len(methods)} methods of lock-owning class "
+                                f"`{cls.name}` but `{method}` writes it "
+                                f"outside `with self.<lock>:`",
+                            )
+                        )
+        return findings

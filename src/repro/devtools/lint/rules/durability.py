@@ -1,0 +1,118 @@
+"""Crash-point hygiene: the fault-injection contract from PR 5.
+
+Every durability code path carries named crash points
+(``FAULTS.crash_point("service.wal.rotate")``) so recovery tests can
+kill the process at a precise instant.  The contract only works when a
+point's name is a string literal (greppable, armable), defined at
+exactly one site (arming a name must target one instant, not several),
+and actually exercised by at least one test (an unarmed crash point is
+dead recovery coverage).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from ..engine import Finding, LintContext, Module, Rule, dotted
+
+_HOOKS = ("crash_point", "partial_write")
+
+
+def _iter_hook_calls(module: Module) -> Iterable[Tuple[ast.Call, str]]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _HOOKS
+            and dotted(node.func.value).split(".")[-1] == "FAULTS"
+        ):
+            yield node, node.func.attr
+
+
+def _literal_point(call: ast.Call):
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+        call.args[0].value, str
+    ):
+        return call.args[0].value
+    return None
+
+
+class CrashPointRule(Rule):
+    """Crash point names are string literals and globally unique."""
+
+    rule_id = "crash-point"
+    severity = "error"
+    description = "FAULTS crash points use unique string-literal names"
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, List[Tuple[str, int]]] = {}
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for call, hook in _iter_hook_calls(module):
+            point = _literal_point(call)
+            if point is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        call.lineno,
+                        f"FAULTS.{hook} takes a string-literal point name so "
+                        f"tests can arm it; got a computed expression",
+                    )
+                )
+                continue
+            self._sites.setdefault(point, []).append((module.relpath, call.lineno))
+        return findings
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for point, sites in sorted(self._sites.items()):
+            if len(sites) <= 1:
+                continue
+            first = sites[0]
+            for path, line in sites[1:]:
+                findings.append(
+                    self.finding(
+                        path,
+                        line,
+                        f"crash point {point!r} already instrumented at "
+                        f"{first[0]}:{first[1]}; arming it would fire at "
+                        f"several instants — pick a distinct name",
+                    )
+                )
+        return findings
+
+
+class CrashPointCoverageRule(Rule):
+    """Every instrumented crash point is referenced by at least one test."""
+
+    rule_id = "crash-point-coverage"
+    severity = "error"
+    description = "every FAULTS crash point is armed by a test or benchmark"
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, Tuple[str, int]] = {}
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        for call, _ in _iter_hook_calls(module):
+            point = _literal_point(call)
+            if point is not None:
+                self._sites.setdefault(point, (module.relpath, call.lineno))
+        return ()
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        corpus = ctx.corpus()
+        findings: List[Finding] = []
+        for point, (path, line) in sorted(self._sites.items()):
+            if point not in corpus:
+                findings.append(
+                    self.finding(
+                        path,
+                        line,
+                        f"crash point {point!r} is never referenced by any "
+                        f"file under tests/ or benchmarks/ — dead recovery "
+                        f"coverage; arm it in a kill-and-restart test",
+                    )
+                )
+        return findings

@@ -1,0 +1,79 @@
+"""Exception discipline: no silently swallowed failures.
+
+A bare ``except:`` catches ``SystemExit``/``KeyboardInterrupt`` — and,
+critically for this codebase, the ``InjectedCrash`` the fault injector
+raises to simulate SIGKILL, which would make recovery tests pass
+vacuously.  ``except Exception: pass`` hides real failures (a torn WAL,
+a dead listener) behind silence; handlers must act — log, count, return
+a default, or re-raise typed (``SchemaError``, ``ConvoyServerError``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import Finding, LintContext, Module, Rule
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _caught_names(type_node) -> List[str]:
+    if type_node is None:
+        return []
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _body_is_silent(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring/ellipsis is still silence
+        return False
+    return True
+
+
+class SilentExceptRule(Rule):
+    """No bare ``except:`` and no ``except Exception: pass`` in src."""
+
+    rule_id = "silent-except"
+    severity = "error"
+    description = "no bare except; broad except handlers must act, not pass"
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        "bare `except:` catches SystemExit, KeyboardInterrupt "
+                        "and the fault injector's InjectedCrash; name the "
+                        "exceptions you mean",
+                    )
+                )
+                continue
+            caught = _caught_names(node.type)
+            broad = [name for name in caught if name in _BROAD]
+            if broad and _body_is_silent(node.body):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"`except {broad[0]}` with an empty body swallows "
+                        f"every failure silently; act on it (log, count, "
+                        f"default) or catch something narrower",
+                    )
+                )
+        return findings

@@ -1,0 +1,61 @@
+"""Repo hygiene: no compiled bytecode tracked by version control.
+
+PR 9 accidentally committed six ``__pycache__/*.pyc`` files; this rule
+keeps them from reappearing.  It asks ``git ls-files`` for the tracked
+file list (the on-disk tree legitimately grows ``__pycache__`` during
+test runs — only *tracked* bytecode is a violation) and is silent when
+no git repository is available.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Callable, Iterable, List, Optional
+
+from ..engine import Finding, LintContext, Rule
+
+
+def _git_tracked_files(root) -> Optional[List[str]]:
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.splitlines()
+
+
+class NoBytecodeRule(Rule):
+    """No ``.pyc`` / ``__pycache__`` entries in the tracked file list."""
+
+    rule_id = "no-bytecode"
+    severity = "error"
+    description = "no compiled bytecode (.pyc, __pycache__) tracked by git"
+
+    def __init__(
+        self, file_lister: Callable[[object], Optional[List[str]]] = _git_tracked_files
+    ) -> None:
+        self._file_lister = file_lister
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        tracked = self._file_lister(ctx.root)
+        if tracked is None:  # no VCS here: nothing to check
+            return ()
+        findings: List[Finding] = []
+        for path in sorted(tracked):
+            if path.endswith((".pyc", ".pyo")) or "__pycache__" in path.split("/"):
+                findings.append(
+                    self.finding(
+                        path,
+                        1,
+                        "compiled bytecode is generated, not source; "
+                        "`git rm --cached` it and keep __pycache__/ ignored",
+                    )
+                )
+        return findings

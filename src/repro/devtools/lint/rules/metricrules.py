@@ -1,0 +1,162 @@
+"""Metrics discipline: naming, cardinality, import-time creation (PR 6).
+
+The observability layer promises Prometheus-idiomatic expositions: one
+``repro_`` namespace, counters ending ``_total``, histograms carrying a
+unit suffix, label sets bounded (a label value interpolated from user
+input mints a new time series per distinct value — an unbounded-memory
+bug), and instruments created once at import, never per request (the
+registry's get-or-create makes per-request creation *work*, but it puts
+a lock acquisition and dict probe on the hot path the design keeps to a
+single attribute increment).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from ..engine import Finding, LintContext, Module, Rule, dotted
+
+_FACTORIES = ("counter", "gauge", "histogram")
+_NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
+_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes")
+
+
+def _is_factory_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FACTORIES
+        and dotted(node.func.value).split(".")[-1] == "METRICS"
+    )
+
+
+class MetricNamingRule(Rule):
+    """Instrument names are literal, namespaced, and unit-suffixed."""
+
+    rule_id = "metric-naming"
+    severity = "error"
+    description = (
+        "metric names: literal repro_* snake_case; counters _total, "
+        "histograms _seconds/_bytes"
+    )
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not _is_factory_call(node):
+                continue
+            kind = node.func.attr  # type: ignore[union-attr]
+            if not node.args or not (
+                isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"METRICS.{kind} name must be a string literal so "
+                        f"dashboards and the exposition contract can grep it",
+                    )
+                )
+                continue
+            name = node.args[0].value
+            problem = None
+            if not _NAME_RE.match(name):
+                problem = "must match repro_[a-z0-9_]+ (namespaced snake_case)"
+            elif kind == "counter" and not name.endswith("_total"):
+                problem = "counters end with _total"
+            elif kind == "histogram" and not name.endswith(_HISTOGRAM_SUFFIXES):
+                problem = "histograms carry a unit suffix (_seconds or _bytes)"
+            elif kind == "gauge" and name.endswith("_total"):
+                problem = "gauges must not masquerade as counters (_total)"
+            if problem:
+                findings.append(
+                    self.finding(
+                        module, node.lineno, f"metric name {name!r}: {problem}"
+                    )
+                )
+        return findings
+
+
+class MetricCardinalityRule(Rule):
+    """Label values come from bounded sets, never interpolated strings.
+
+    ``instrument.labels(f"user-{uid}")`` (or ``%``-format, ``.format``,
+    string concatenation) mints one child series per distinct value —
+    unbounded exposition growth.  Pass values drawn from literal or
+    otherwise bounded sets; map open-ended inputs to a bounded bucket
+    first (the server's ``"unmatched"`` route idiom).
+    """
+
+    rule_id = "metric-cardinality"
+    severity = "error"
+    description = "no interpolated strings as .labels() values"
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "labels"
+            ):
+                continue
+            for arg in node.args:
+                if self._interpolated(arg):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "interpolated label value creates one time "
+                            "series per distinct input (unbounded "
+                            "cardinality); use values from a bounded set",
+                        )
+                    )
+                    break
+        return findings
+
+    @staticmethod
+    def _interpolated(arg: ast.expr) -> bool:
+        if isinstance(arg, ast.JoinedStr):
+            return True
+        if isinstance(arg, ast.BinOp) and isinstance(arg.op, (ast.Mod, ast.Add)):
+            return True
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "format"
+        ):
+            return True
+        return False
+
+
+class MetricImportTimeRule(Rule):
+    """Instruments are created at import time, not inside functions."""
+
+    rule_id = "metric-import-time"
+    severity = "error"
+    description = "METRICS.counter/gauge/histogram only at module import time"
+
+    def visit(self, module: Module, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def scan(node: ast.AST, depth: int) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                depth += 1
+            if depth > 0 and _is_factory_call(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"METRICS.{node.func.attr} inside a function puts "  # type: ignore[union-attr]
+                        f"registry lock + dict probe on the hot path; create "
+                        f"the instrument at module import time",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                scan(child, depth)
+
+        scan(module.tree, 0)
+        return findings

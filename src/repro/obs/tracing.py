@@ -187,6 +187,7 @@ class Tracer:
         if duration_ms >= self.slow_threshold_ms:
             try:
                 _slow_log.warning("%s", json.dumps(record, default=str))
+            # lint: disable=silent-except — a failed slow-log line is dropped; observability must never take the request path down
             except Exception:  # noqa: BLE001 — logging must never raise
                 pass
 

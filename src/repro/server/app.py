@@ -338,6 +338,7 @@ class ConvoyServer:
         ingest = getattr(self.service, "ingest", None)
         if ingest is None or getattr(ingest, "journal", None) is None:
             return
+        # lint: disable=single-writer — graceful stop only: the writer queue has drained and stopped, so there is no writer to race
         await asyncio.get_running_loop().run_in_executor(None, ingest.checkpoint)
 
     # -- connection handling --------------------------------------------------
@@ -668,6 +669,7 @@ class ConvoyServer:
             ]
         }
 
+    # lint: disable=route-validation — predates the PR 4 schema layer; its typed _parse_* helpers answer 400 with the same envelope
     async def _get_convoys(self, request: Request) -> Tuple[int, Any]:
         self.stats.reads += 1
         engine = self.service.query
@@ -1115,6 +1117,7 @@ async def serve_http(
         for task in (forever, stopper):
             try:
                 await task
+            # lint: disable=silent-except — reaping cancelled tasks at shutdown; their errors were already surfaced by serve()
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
     except asyncio.CancelledError:

@@ -32,6 +32,7 @@ class BloomFilter:
 
     def _positions(self, key: bytes) -> Iterable[int]:
         digest = hashlib.blake2b(key, digest_size=16).digest()
+        # lint: disable=codec-pair — the pack side is the blake2b digest itself; there is no writer half to pair with
         h1, h2 = struct.unpack(">QQ", digest)
         for i in range(self.num_hashes):
             yield (h1 + i * h2) % self.num_bits

@@ -8,6 +8,8 @@ changes the surface.
 """
 
 import pathlib
+import subprocess
+import sys
 
 import repro.api
 
@@ -57,3 +59,28 @@ def test_star_import_honours_all():
     exec("from repro.api import *", namespace)
     exported = {name for name in namespace if not name.startswith("_")}
     assert exported == set(repro.api.__all__)
+
+
+def test_devtools_stay_off_the_public_surface():
+    """The lint machinery is a development tool, not part of the API."""
+    for name in repro.api.__all__:
+        module = getattr(getattr(repro.api, name), "__module__", "") or ""
+        assert not module.startswith("repro.devtools"), name
+
+
+def test_importing_the_api_does_not_import_devtools():
+    """Library users never pay for (or see) the linter: a fresh
+    interpreter importing ``repro.api`` must not load ``repro.devtools``."""
+    probe = (
+        "import sys\n"
+        "import repro.api\n"
+        "offenders = [m for m in sys.modules if m.startswith('repro.devtools')]\n"
+        "assert not offenders, offenders\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

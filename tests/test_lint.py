@@ -1,0 +1,795 @@
+"""The invariant checker checks itself: one fires / doesn't-fire pair
+per rule, engine mechanics (suppressions, parse errors), and the meta
+test that the linter is clean over this very repository."""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint import ALL_RULES, Finding, run_lint
+from repro.devtools.lint.engine import main as lint_main
+from repro.devtools.lint.rules.apirules import (
+    ListenerOrderRule,
+    MinerSchemaRule,
+    RouteValidationRule,
+)
+from repro.devtools.lint.rules.codec import CodecPairRule, MagicOnceRule
+from repro.devtools.lint.rules.concurrency import LockGuardRule, SingleWriterRule
+from repro.devtools.lint.rules.durability import (
+    CrashPointCoverageRule,
+    CrashPointRule,
+)
+from repro.devtools.lint.rules.exceptions import SilentExceptRule
+from repro.devtools.lint.rules.hygiene import NoBytecodeRule
+from repro.devtools.lint.rules.metricrules import (
+    MetricCardinalityRule,
+    MetricImportTimeRule,
+    MetricNamingRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint(tmp_path, files, rule):
+    """Write a fixture tree under ``tmp_path`` and run one rule on it."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint(tmp_path, rules=[rule])
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- engine mechanics ---------------------------------------------------------
+
+
+class TestEngine:
+    def test_finding_render_is_greppable(self):
+        finding = Finding("src/repro/x.py", 12, "some-rule", "error", "boom")
+        assert finding.render() == "src/repro/x.py:12: [some-rule] error: boom"
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"src/repro/bad.py": "def broken(:\n"},
+            SilentExceptRule,
+        )
+        assert rule_ids(findings) == ["parse-error"]
+
+    def test_suppression_on_the_offending_line(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                try:
+                    work()
+                except Exception:  # lint: disable=silent-except — justified
+                    pass
+                """
+            },
+            SilentExceptRule,
+        )
+        assert findings == []
+
+    def test_suppression_on_the_line_above(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                try:
+                    work()
+                # lint: disable=silent-except — justified
+                except Exception:
+                    pass
+                """
+            },
+            SilentExceptRule,
+        )
+        assert findings == []
+
+    def test_file_wide_suppression(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                # lint: disable-file=silent-except
+                try:
+                    work()
+                except Exception:
+                    pass
+                """
+            },
+            SilentExceptRule,
+        )
+        assert findings == []
+
+    def test_comma_separated_suppression_list(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                try:
+                    work()
+                except Exception:  # lint: disable=other-rule, silent-except
+                    pass
+                """
+            },
+            SilentExceptRule,
+        )
+        assert findings == []
+
+    def test_unrelated_suppression_does_not_silence(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                try:
+                    work()
+                except Exception:  # lint: disable=other-rule
+                    pass
+                """
+            },
+            SilentExceptRule,
+        )
+        assert rule_ids(findings) == ["silent-except"]
+
+    def test_list_rules_covers_the_whole_catalogue(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_cls in ALL_RULES:
+            assert rule_cls.rule_id in out
+
+
+# -- single-writer ------------------------------------------------------------
+
+
+class TestSingleWriter:
+    def test_fires_on_direct_ingest_mutation_in_handler(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/server/app.py": """\
+                class ConvoyServer:
+                    async def _post_feed(self, request):
+                        self.service.ingest.observe(1, 2, 3)
+                        return 200, {}
+                """
+            },
+            SingleWriterRule,
+        )
+        assert rule_ids(findings) == ["single-writer"]
+        assert findings[0].line == 3
+
+    def test_silent_inside_writer_job_closure(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/server/app.py": """\
+                class ConvoyServer:
+                    async def _post_feed(self, request):
+                        def job():
+                            self.service.ingest.observe(1, 2, 3)
+                            self._points.append((1, 2))
+                        await self._submit_write(job)
+                        return 200, {}
+                """
+            },
+            SingleWriterRule,
+        )
+        assert findings == []
+
+    def test_scoped_to_the_server_module(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/other.py": """\
+                class Replayer:
+                    async def run(self):
+                        self.ingest.observe(1)
+                """
+            },
+            SingleWriterRule,
+        )
+        assert findings == []
+
+
+# -- lock-guard ---------------------------------------------------------------
+
+
+class TestLockGuard:
+    FIXTURE_UNGUARDED = """\
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def incr(self):
+            with self._lock:
+                self.count += 1
+
+        def reset(self):
+            self.count = 0
+    """
+
+    def test_fires_on_unguarded_multi_method_rebind(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"src/repro/obs/reg.py": self.FIXTURE_UNGUARDED},
+            LockGuardRule,
+        )
+        assert rule_ids(findings) == ["lock-guard"]
+        assert findings[0].severity == "warning"
+
+    def test_silent_when_every_write_is_under_the_lock(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/reg.py": """\
+                import threading
+
+                class Registry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def incr(self):
+                        with self._lock:
+                            self.count += 1
+
+                    def reset(self):
+                        with self._lock:
+                            self.count = 0
+                """
+            },
+            LockGuardRule,
+        )
+        assert findings == []
+
+    def test_silent_without_a_lock_attribute(self, tmp_path):
+        source = self.FIXTURE_UNGUARDED.replace(
+            "self._lock = threading.Lock()\n", "pass\n"
+        ).replace("with self._lock:", "if True:")
+        findings = lint(
+            tmp_path, {"src/repro/obs/reg.py": source}, LockGuardRule
+        )
+        assert findings == []
+
+
+# -- crash-point --------------------------------------------------------------
+
+
+class TestCrashPoint:
+    def test_fires_on_computed_point_name(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/wal.py": """\
+                def append(name):
+                    FAULTS.crash_point("wal." + name)
+                """
+            },
+            CrashPointRule,
+        )
+        assert rule_ids(findings) == ["crash-point"]
+
+    def test_fires_on_duplicate_point_names(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/a.py": """\
+                def one():
+                    FAULTS.crash_point("svc.step")
+                """,
+                "src/repro/service/b.py": """\
+                def two():
+                    FAULTS.crash_point("svc.step")
+                """,
+            },
+            CrashPointRule,
+        )
+        assert rule_ids(findings) == ["crash-point"]
+
+    def test_silent_on_unique_literals(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/a.py": """\
+                def one():
+                    FAULTS.crash_point("svc.step-one")
+                    FAULTS.partial_write("svc.step-two", handle, data)
+                """
+            },
+            CrashPointRule,
+        )
+        assert findings == []
+
+
+# -- crash-point-coverage -----------------------------------------------------
+
+
+class TestCrashPointCoverage:
+    SOURCE = """\
+    def append():
+        FAULTS.crash_point("svc.uncovered")
+    """
+
+    def test_fires_when_no_test_references_the_point(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"src/repro/service/a.py": self.SOURCE},
+            CrashPointCoverageRule,
+        )
+        assert rule_ids(findings) == ["crash-point-coverage"]
+
+    def test_silent_when_a_test_arms_the_point(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/a.py": self.SOURCE,
+                "tests/test_recovery.py": """\
+                def test_crash():
+                    FAULTS.arm("svc.uncovered")
+                """,
+            },
+            CrashPointCoverageRule,
+        )
+        assert findings == []
+
+
+# -- codec-pair ---------------------------------------------------------------
+
+
+class TestCodecPair:
+    def test_fires_on_write_only_format(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/w.py": """\
+                import struct
+
+                def encode(value):
+                    return struct.pack(">I", value)
+                """
+            },
+            CodecPairRule,
+        )
+        assert rule_ids(findings) == ["codec-pair"]
+
+    def test_fires_on_computed_format(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/w.py": """\
+                import struct
+
+                FMT = ">" + "I"
+
+                def decode(data):
+                    return struct.unpack(FMT, data)
+                """
+            },
+            CodecPairRule,
+        )
+        assert rule_ids(findings) == ["codec-pair"]
+
+    def test_silent_when_both_sides_exist(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/w.py": """\
+                import struct
+
+                def encode(value):
+                    return struct.pack(">I", value)
+                """,
+                "src/repro/storage/r.py": """\
+                import struct
+
+                def decode(data):
+                    return struct.unpack(">I", data)
+                """,
+            },
+            CodecPairRule,
+        )
+        assert findings == []
+
+    def test_struct_object_counts_as_both_sides(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/w.py": """\
+                import struct
+
+                FRAME = struct.Struct(">II")
+                """
+            },
+            CodecPairRule,
+        )
+        assert findings == []
+
+    def test_codec_helper_parameter_is_allowed(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/w.py": """\
+                import struct
+
+                class Writer:
+                    def pack(self, fmt, *values):
+                        self.buffer += struct.pack(fmt, *values)
+                """
+            },
+            CodecPairRule,
+        )
+        assert findings == []
+
+
+# -- magic-once ---------------------------------------------------------------
+
+
+class TestMagicOnce:
+    def test_fires_when_two_formats_share_a_magic(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/wal.py": '_WAL_MAGIC = b"XX01"\n',
+                "src/repro/storage/ckpt.py": '_CKPT_MAGIC = b"XX01"\n',
+            },
+            MagicOnceRule,
+        )
+        assert rule_ids(findings) == ["magic-once"]
+
+    def test_silent_on_distinct_magics(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/wal.py": '_WAL_MAGIC = b"XX01"\n',
+                "src/repro/storage/ckpt.py": '_CKPT_MAGIC = b"XX02"\n',
+            },
+            MagicOnceRule,
+        )
+        assert findings == []
+
+
+# -- metric-naming ------------------------------------------------------------
+
+
+class TestMetricNaming:
+    def test_fires_on_convention_violations(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/m.py": """\
+                REQS = METRICS.counter("repro_requests", "missing suffix")
+                LAT = METRICS.histogram("repro_latency", "missing unit")
+                BAD = METRICS.gauge("repro_depth_total", "gauge as counter")
+                OOPS = METRICS.counter("requests_total", "no namespace")
+                DYN = METRICS.counter(name, "computed name")
+                """
+            },
+            MetricNamingRule,
+        )
+        assert rule_ids(findings) == ["metric-naming"] * 5
+
+    def test_silent_on_conforming_names(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/m.py": """\
+                REQS = METRICS.counter("repro_requests_total", "requests")
+                LAT = METRICS.histogram("repro_latency_seconds", "latency")
+                SIZE = METRICS.histogram("repro_frame_bytes", "frame size")
+                DEPTH = METRICS.gauge("repro_queue_depth", "queue depth")
+                """
+            },
+            MetricNamingRule,
+        )
+        assert findings == []
+
+
+# -- metric-cardinality -------------------------------------------------------
+
+
+class TestMetricCardinality:
+    def test_fires_on_interpolated_label_value(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/m.py": """\
+                def observe(uid):
+                    REQS.labels(f"user-{uid}").inc()
+                    REQS.labels("user-%d" % uid).inc()
+                    REQS.labels("user-{}".format(uid)).inc()
+                """
+            },
+            MetricCardinalityRule,
+        )
+        assert rule_ids(findings) == ["metric-cardinality"] * 3
+
+    def test_silent_on_bounded_label_values(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/m.py": """\
+                def observe(shard):
+                    REQS.labels("feed").inc()
+                    REQS.labels(str(shard)).inc()
+                """
+            },
+            MetricCardinalityRule,
+        )
+        assert findings == []
+
+
+# -- metric-import-time -------------------------------------------------------
+
+
+class TestMetricImportTime:
+    def test_fires_on_factory_call_inside_a_function(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/m.py": """\
+                def handle(request):
+                    METRICS.counter("repro_requests_total", "hot path").inc()
+                """
+            },
+            MetricImportTimeRule,
+        )
+        assert rule_ids(findings) == ["metric-import-time"]
+
+    def test_silent_at_module_level(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/obs/m.py": """\
+                REQS = METRICS.counter("repro_requests_total", "requests")
+
+                def handle(request):
+                    REQS.inc()
+                """
+            },
+            MetricImportTimeRule,
+        )
+        assert findings == []
+
+
+# -- silent-except ------------------------------------------------------------
+
+
+class TestSilentExcept:
+    def test_fires_on_bare_except_and_swallowed_broad_except(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                try:
+                    work()
+                except:
+                    pass
+
+                try:
+                    work()
+                except Exception:
+                    pass
+
+                try:
+                    work()
+                except (ValueError, Exception):
+                    ...
+                """
+            },
+            SilentExceptRule,
+        )
+        assert rule_ids(findings) == ["silent-except"] * 3
+
+    def test_silent_on_narrow_or_acting_handlers(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/x.py": """\
+                try:
+                    work()
+                except ValueError:
+                    pass
+
+                try:
+                    work()
+                except Exception as error:
+                    logger.warning("failed: %s", error)
+                """
+            },
+            SilentExceptRule,
+        )
+        assert findings == []
+
+
+# -- miner-schema -------------------------------------------------------------
+
+
+class TestMinerSchema:
+    def test_fires_on_undeclared_extra_parameter(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/api/m.py": """\
+                @register_miner("toy", summary="toy miner")
+                def mine_toy(source, query, lam=5):
+                    return []
+                """
+            },
+            MinerSchemaRule,
+        )
+        assert rule_ids(findings) == ["miner-schema"]
+
+    def test_silent_when_params_are_declared(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/api/m.py": """\
+                @register_miner(
+                    "toy",
+                    summary="toy miner",
+                    params=(Param("lam", int, default=5),),
+                )
+                def mine_toy(source, query, lam=5):
+                    return []
+                """
+            },
+            MinerSchemaRule,
+        )
+        assert findings == []
+
+
+# -- route-validation ---------------------------------------------------------
+
+
+class TestRouteValidation:
+    def test_fires_on_unvalidated_handler_with_annotated_table(self, tmp_path):
+        # _ROUTES is declared with a type annotation in the real server —
+        # the AnnAssign form is the regression this fixture pins down.
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/server/app.py": """\
+                _ROUTES: dict = {
+                    ("GET", "/convoys"): ConvoyServer._get_convoys,
+                }
+
+                class ConvoyServer:
+                    async def _get_convoys(self, request):
+                        return 200, {"between": request.query.get("between")}
+                """
+            },
+            RouteValidationRule,
+        )
+        assert rule_ids(findings) == ["route-validation"]
+
+    def test_silent_when_handler_validates(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/server/app.py": """\
+                _ROUTES = {
+                    ("GET", "/analytics/windows"): ConvoyServer._get_windows,
+                    ("POST", "/mine"): ConvoyServer._post_mine,
+                }
+
+                class ConvoyServer:
+                    async def _get_windows(self, request):
+                        params = validated(WINDOW_SCHEMA, request.query)
+                        return 200, params
+
+                    async def _post_mine(self, request):
+                        params = miner.info.schema.validate(request.body)
+                        return 200, params
+                """
+            },
+            RouteValidationRule,
+        )
+        assert findings == []
+
+
+# -- listener-order -----------------------------------------------------------
+
+
+class TestListenerOrder:
+    def test_fires_on_dispatch_before_version_bump(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/index.py": """\
+                class ConvoyIndex:
+                    def add(self, record):
+                        for listener in self.listeners:
+                            listener.on_add(record)
+                        self.version += 1
+                """
+            },
+            ListenerOrderRule,
+        )
+        assert rule_ids(findings) == ["listener-order"]
+
+    def test_silent_when_bump_precedes_dispatch(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/service/index.py": """\
+                class ConvoyIndex:
+                    def add(self, record):
+                        self.version += 1
+                        for listener in self.listeners:
+                            listener.on_add(record)
+
+                    def _evict(self, record):
+                        self.version += 1
+                        for listener in self.listeners:
+                            listener.on_evict(record)
+                """
+            },
+            ListenerOrderRule,
+        )
+        assert findings == []
+
+
+# -- no-bytecode --------------------------------------------------------------
+
+
+class TestNoBytecode:
+    def test_fires_on_tracked_bytecode(self, tmp_path):
+        rule = NoBytecodeRule(
+            file_lister=lambda root: [
+                "src/repro/cli.py",
+                "src/repro/__pycache__/cli.cpython-311.pyc",
+            ]
+        )
+        findings = lint(tmp_path, {"src/repro/cli.py": "X = 1\n"}, rule)
+        assert rule_ids(findings) == ["no-bytecode"]
+
+    def test_silent_on_source_only_tracking(self, tmp_path):
+        rule = NoBytecodeRule(file_lister=lambda root: ["src/repro/cli.py"])
+        findings = lint(tmp_path, {"src/repro/cli.py": "X = 1\n"}, rule)
+        assert findings == []
+
+    def test_silent_without_version_control(self, tmp_path):
+        rule = NoBytecodeRule(file_lister=lambda root: None)
+        findings = lint(tmp_path, {"src/repro/cli.py": "X = 1\n"}, rule)
+        assert findings == []
+
+
+# -- the meta tests: this repository is clean ---------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_run_lint_over_this_repo_returns_no_findings(self):
+        findings = run_lint(REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_module_entrypoint_strict_exits_zero(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", "--strict",
+             str(REPO_ROOT)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_cli_subcommand_is_wired(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "single-writer" in out and "no-bytecode" in out

@@ -391,6 +391,36 @@ class TestRetentionCrashRecovery:
         assert replayed == list(range(1, crashed_at + 40))
         assert has_durable_state(os.path.dirname(path)) or True  # smoke
 
+    def test_torn_wal_append_replays_consistent_prefix(self, tmp_path):
+        """Die mid-frame inside ``service.wal.append``: a power-cut shape.
+
+        The fourth append emits only 5 of its bytes before the injected
+        kill, leaving a torn frame on disk.  Replay must stop at the
+        last intact record — never yield a half-frame — and the recovery
+        flow (checkpoint, then truncate) starts the log clean again.
+        """
+        path = str(tmp_path / "feed.wal")
+        wal = FeedWAL(path)
+        oids = np.array([1], dtype=np.int64)
+        xy = np.array([0.0])
+        FAULTS.arm("service.wal.append", nth=4, partial=5)
+        with pytest.raises(InjectedCrash):
+            for seq in range(1, 10):
+                wal.append_snapshot("s", seq, seq, oids, xy, xy)
+        FAULTS.disarm()
+        # Exactly the three intact records come back; the torn tail is
+        # dropped, not decoded.
+        assert [r.seq for r in FeedWAL.replay(path)] == [1, 2, 3]
+
+        # Recovery checkpoints the replayed state and truncates; the log
+        # then accepts appends with no memory of the torn frame.
+        reopened = FeedWAL(path)
+        reopened.truncate()
+        for seq in (100, 101, 102):
+            reopened.append_snapshot("s", seq, seq, oids, xy, xy)
+        reopened.close()
+        assert [r.seq for r in FeedWAL.replay(path)] == [100, 101, 102]
+
     def test_compaction_crash_keeps_live_rows_and_redrops_aged_ones(
         self, tmp_path
     ):
